@@ -1,0 +1,113 @@
+// Ablation (DESIGN.md decision #3): nested-ITE UF elimination vs Ackermann's
+// scheme on the Positive-Equality-only verification flow.
+//
+// The nested-ITE scheme (Bryant–German–Velev, TOCL'01) preserves the p-term
+// status of uninterpreted-function outputs, so data values stay maximally
+// diverse and only register identifiers need e_ij variables. Ackermann's
+// constraints place every output equality in mixed polarity, forfeiting the
+// reduction: the e_ij count multiplies on the PE-only flow, and on the
+// rewriting flow — where nested-ITE achieves the paper's "no e_ij
+// variables, size-independent CNF" (Table 5) — Ackermann re-introduces
+// thousands of e_ij variables and blows the CNF up by two orders of
+// magnitude. (At tiny PE-only sizes Ackermann's explicit consistency
+// lemmas can incidentally help the SAT solver; the structural collapse on
+// the rewriting flow is the decisive measurement.)
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/diagram.hpp"
+#include "core/verifier.hpp"
+#include "evc/translate.hpp"
+#include "models/spec.hpp"
+#include "sat/solver.hpp"
+#include "support/timer.hpp"
+
+using namespace velev;
+
+namespace {
+
+void runOne(unsigned n, unsigned k, evc::UfScheme scheme,
+            std::int64_t budget) {
+  eufm::Context cx;
+  const models::Isa isa = models::Isa::declare(cx);
+  auto impl = models::buildOoO(cx, isa, {n, k});
+  auto spec = models::buildSpec(cx, isa);
+  const core::Diagram d = core::buildDiagram(cx, *impl, *spec);
+  evc::TranslateOptions opts;
+  opts.ufScheme = scheme;
+  Timer t;
+  const evc::Translation tr = evc::translate(cx, d.correctness, opts);
+  const double trTime = t.seconds();
+  t.reset();
+  const sat::Result r = sat::solveCnf(tr.cnf, nullptr, nullptr, budget);
+  char satStr[32];
+  if (r == sat::Result::Unsat)
+    std::snprintf(satStr, sizeof satStr, "%.2f", t.seconds());
+  else if (r == sat::Result::Unknown)
+    std::snprintf(satStr, sizeof satStr, ">%.0f", t.seconds());
+  else
+    std::snprintf(satStr, sizeof satStr, "SAT?!");
+  std::printf("%4u %2u | %-10s | %8u | %9zu | %10zu | %9.2f | %9s\n", n, k,
+              scheme == evc::UfScheme::NestedIte ? "nested-ITE" : "Ackermann",
+              tr.stats.eijVars, tr.stats.cnfVars, tr.stats.cnfClauses, trTime,
+              satStr);
+}
+
+}  // namespace
+
+int main() {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  const std::int64_t budget = 300000;
+  std::printf(
+      "Ablation: UF-elimination scheme on the Positive-Equality-only flow\n"
+      "(nested-ITE preserves Positive Equality; Ackermann forfeits it)\n\n");
+  std::printf("%4s %2s | %-10s | %8s | %9s | %10s | %9s | %9s\n", "N", "k",
+              "scheme", "e_ij", "CNF vars", "CNF claus", "transl[s]",
+              "SAT [s]");
+  std::printf("--------+------------+----------+-----------+------------+-"
+              "----------+----------\n");
+  struct Cfg {
+    unsigned n, k;
+  };
+  for (const Cfg c : {Cfg{2, 1}, Cfg{2, 2}, Cfg{3, 1}, Cfg{3, 2}}) {
+    runOne(c.n, c.k, evc::UfScheme::NestedIte, budget);
+    runOne(c.n, c.k, evc::UfScheme::Ackermann, budget);
+  }
+  std::printf("\n(SAT attempts bounded at %lld conflicts. At these sizes "
+              "Ackermann's extra constraints can even help the solver; the "
+              "decisive difference is below.)\n",
+              static_cast<long long>(budget));
+
+  // The rewriting flow: here the nested-ITE scheme is what delivers the
+  // paper's Table 5 property — no e_ij variables at all, because the
+  // surviving formula is almost entirely positive. Ackermann re-introduces
+  // general terms even after rewriting.
+  std::printf(
+      "\nSame ablation on the REWRITING flow (paper Tables 4-5):\n");
+  std::printf("%4s %2s | %-10s | %8s | %9s | %10s | %9s | %9s\n", "N", "k",
+              "scheme", "e_ij", "CNF vars", "CNF claus", "SAT [s]",
+              "verdict");
+  std::printf("--------+------------+----------+-----------+------------+-"
+              "----------+----------\n");
+  for (const Cfg c : {Cfg{16, 4}, Cfg{64, 8}, Cfg{128, 16}}) {
+    for (const auto scheme :
+         {evc::UfScheme::NestedIte, evc::UfScheme::Ackermann}) {
+      core::VerifyOptions opts;
+      opts.ufScheme = scheme;
+      opts.satConflictBudget = budget;
+      const core::VerifyReport rep = core::verify({c.n, c.k}, {}, opts);
+      std::printf("%4u %2u | %-10s | %8u | %9zu | %10zu | %9.2f | %9s\n",
+                  c.n, c.k,
+                  scheme == evc::UfScheme::NestedIte ? "nested-ITE"
+                                                     : "Ackermann",
+                  rep.evcStats.eijVars, rep.evcStats.cnfVars,
+                  rep.evcStats.cnfClauses, rep.satSeconds,
+                  rep.verdict == core::Verdict::Correct ? "correct"
+                  : rep.verdict == core::Verdict::Inconclusive
+                      ? ">budget"
+                      : "PROBLEM");
+    }
+  }
+  return 0;
+}

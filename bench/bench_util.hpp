@@ -1,0 +1,73 @@
+// Shared helpers for the table-reproduction benchmark binaries.
+//
+// Each bench regenerates one table of the paper's evaluation (Sect. 7) and
+// prints it in the paper's layout: ROB sizes as rows, issue/retire widths
+// as columns. Default parameters finish in minutes on a laptop; set
+// REPRO_FULL=1 in the environment for the paper-scale sweep (ROB sizes up
+// to 1,500 and widths up to 128 — hours of runtime and tens of GB, exactly
+// as the paper's 4 GB Sun4 needed hours).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace velev::bench {
+
+inline bool fullScale() {
+  const char* v = std::getenv("REPRO_FULL");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Default / full-scale ROB sizes (paper: 4..1500).
+inline std::vector<unsigned> robSizes() {
+  std::vector<unsigned> s = {4, 8, 16, 32, 64, 128, 250};
+  if (fullScale()) {
+    s.push_back(500);
+    s.push_back(1000);
+    s.push_back(1500);
+  }
+  return s;
+}
+
+/// Default / full-scale issue widths (paper: 1..128).
+inline std::vector<unsigned> issueWidths() {
+  std::vector<unsigned> w = {1, 2, 4, 8, 16};
+  if (fullScale()) {
+    w.push_back(32);
+    w.push_back(64);
+    w.push_back(128);
+  }
+  return w;
+}
+
+inline void printHeader(const char* title, const char* corner,
+                        const std::vector<unsigned>& widths) {
+  std::printf("%s\n", title);
+  std::printf("%10s", corner);
+  for (unsigned w : widths) std::printf(" | %9u", w);
+  std::printf("\n");
+  std::printf("----------");
+  for (std::size_t i = 0; i < widths.size(); ++i) std::printf("-+----------");
+  std::printf("\n");
+}
+
+inline void printRowLabel(unsigned size) { std::printf("%10u", size); }
+
+inline void printCell(double seconds) { std::printf(" | %9.3f", seconds); }
+
+inline void printCellCount(std::size_t n) {
+  std::printf(" | %9zu", n);
+}
+
+/// The paper prints a dash for impossible configurations (width > size).
+inline void printDash() { std::printf(" | %9s", "-"); }
+
+inline void printCellText(const std::string& s) {
+  std::printf(" | %9s", s.c_str());
+}
+
+inline void endRow() { std::printf("\n"); }
+
+}  // namespace velev::bench

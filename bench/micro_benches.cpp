@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// substrates: expression hash-consing, symbolic simulation stepping, the
+// SAT solver's propagation-heavy workloads, the propositional encoder, and
+// the rewriting engine — supporting data for the design decisions in
+// DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "core/diagram.hpp"
+#include "core/verifier.hpp"
+#include "evc/translate.hpp"
+#include "models/spec.hpp"
+#include "rewrite/engine.hpp"
+#include "sat/solver.hpp"
+#include "support/rng.hpp"
+
+using namespace velev;
+
+namespace {
+
+void BM_EufmHashCons(benchmark::State& state) {
+  for (auto _ : state) {
+    eufm::Context cx;
+    const eufm::FuncId f = cx.declareFunc("f", 2);
+    eufm::Expr acc = cx.termVar("x");
+    for (int i = 0; i < 1000; ++i)
+      acc = cx.apply(f, {acc, cx.termVar("y" + std::to_string(i % 10))});
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_EufmHashCons);
+
+void BM_EufmDedup(benchmark::State& state) {
+  // Re-creating an identical expression must hit the hash-cons table.
+  eufm::Context cx;
+  const eufm::FuncId f = cx.declareFunc("f", 2);
+  const eufm::Expr x = cx.termVar("x"), y = cx.termVar("y");
+  for (auto _ : state) {
+    eufm::Expr acc = x;
+    for (int i = 0; i < 1000; ++i) acc = cx.apply(f, {acc, y});
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_EufmDedup);
+
+void BM_SymbolicSimulation(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    eufm::Context cx;
+    const models::Isa isa = models::Isa::declare(cx);
+    auto impl = models::buildOoO(cx, isa, {n, 4});
+    auto spec = models::buildSpec(cx, isa);
+    const core::Diagram d = core::buildDiagram(cx, *impl, *spec);
+    benchmark::DoNotOptimize(d.correctness);
+  }
+}
+BENCHMARK(BM_SymbolicSimulation)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_RewriteEngine(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  eufm::Context cx;
+  const models::Isa isa = models::Isa::declare(cx);
+  auto impl = models::buildOoO(cx, isa, {n, 4});
+  auto spec = models::buildSpec(cx, isa);
+  const core::Diagram d = core::buildDiagram(cx, *impl, *spec);
+  for (auto _ : state) {
+    const rewrite::RewriteResult rw = rewrite::rewriteRobUpdates(
+        cx, isa, impl->init, impl->config, d.implRegFile, d.specRegFile);
+    benchmark::DoNotOptimize(rw.ok);
+  }
+}
+BENCHMARK(BM_RewriteEngine)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Translation(benchmark::State& state) {
+  const unsigned k = static_cast<unsigned>(state.range(0));
+  eufm::Context cx;
+  const models::Isa isa = models::Isa::declare(cx);
+  auto impl = models::buildOoO(cx, isa, {2 * k, k});
+  auto spec = models::buildSpec(cx, isa);
+  const core::Diagram d = core::buildDiagram(cx, *impl, *spec);
+  const rewrite::RewriteResult rw = rewrite::rewriteRobUpdates(
+      cx, isa, impl->init, impl->config, d.implRegFile, d.specRegFile);
+  eufm::Expr c = cx.mkFalse();
+  for (unsigned m = 0; m < d.specPc.size(); ++m)
+    c = cx.mkOr(c, cx.mkAnd(cx.mkEq(d.implPc, d.specPc[m]),
+                            cx.mkEq(rw.implRegFile, rw.specRegFile[m])));
+  for (auto _ : state) {
+    evc::TranslateOptions opts;
+    opts.conservativeMemory = true;
+    const evc::Translation tr = evc::translate(cx, c, opts);
+    benchmark::DoNotOptimize(tr.cnf.numVars);
+  }
+}
+BENCHMARK(BM_Translation)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SatRandom3Sat(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  Rng rng(n * 31 + 7);
+  prop::Cnf cnf;
+  cnf.numVars = n;
+  const unsigned m = static_cast<unsigned>(n * 4.1);  // mostly satisfiable
+  for (unsigned i = 0; i < m; ++i) {
+    prop::Clause c;
+    for (int j = 0; j < 3; ++j) {
+      const int v = 1 + static_cast<int>(rng.below(n));
+      c.push_back(rng.coin() ? v : -v);
+    }
+    cnf.addClause(c);
+  }
+  for (auto _ : state) {
+    const sat::Result r = sat::solveCnf(cnf);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SatRandom3Sat)->Arg(100)->Arg(150);
+
+void BM_SatPigeonhole(benchmark::State& state) {
+  const unsigned holes = static_cast<unsigned>(state.range(0));
+  prop::Cnf cnf;
+  const unsigned pigeons = holes + 1;
+  auto var = [&](unsigned p, unsigned h) {
+    return static_cast<prop::CnfLit>(p * holes + h + 1);
+  };
+  cnf.numVars = pigeons * holes;
+  for (unsigned p = 0; p < pigeons; ++p) {
+    prop::Clause c;
+    for (unsigned h = 0; h < holes; ++h) c.push_back(var(p, h));
+    cnf.addClause(c);
+  }
+  for (unsigned h = 0; h < holes; ++h)
+    for (unsigned p1 = 0; p1 < pigeons; ++p1)
+      for (unsigned p2 = p1 + 1; p2 < pigeons; ++p2)
+        cnf.addClause({-var(p1, h), -var(p2, h)});
+  for (auto _ : state) {
+    const sat::Result r = sat::solveCnf(cnf);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(7);
+
+void BM_EndToEndVerify(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const core::VerifyReport rep = core::verify({n, 4});
+    benchmark::DoNotOptimize(rep.verdict);
+  }
+}
+BENCHMARK(BM_EndToEndVerify)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Bug hunt: inject a seeded defect into the out-of-order processor and show
+// how the two verification strategies react —
+//   * the rewriting rules pinpoint the non-conforming computation slice
+//     (the paper's Sect. 7.2 behaviour), and
+//   * on small configurations, the Positive-Equality-only flow produces a
+//     SAT counterexample whose model is decoded back to the abstract
+//     processor's control signals.
+//
+//   $ ./bug_hunt [kind] [slice] [robSize] [width]
+//     kind: fwd | stale | retire | alu | completion   (default fwd)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/diagram.hpp"
+#include "core/verifier.hpp"
+#include "evc/translate.hpp"
+#include "sat/solver.hpp"
+
+using namespace velev;
+
+namespace {
+
+models::BugKind parseKind(const char* s) {
+  if (!std::strcmp(s, "fwd")) return models::BugKind::ForwardingWrongOperand;
+  if (!std::strcmp(s, "stale")) return models::BugKind::ForwardingStaleResult;
+  if (!std::strcmp(s, "retire"))
+    return models::BugKind::RetireIgnoresValidResult;
+  if (!std::strcmp(s, "alu")) return models::BugKind::AluWrongOpcode;
+  if (!std::strcmp(s, "completion"))
+    return models::BugKind::CompletionSkipsWrite;
+  std::fprintf(stderr, "unknown bug kind '%s'\n", s);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const models::BugKind kind = argc > 1 ? parseKind(argv[1])
+                                        : models::BugKind::ForwardingWrongOperand;
+  const unsigned slice = argc > 2 ? std::atoi(argv[2]) : 3u;
+  const unsigned n = argc > 3 ? std::atoi(argv[3]) : 4u;
+  const unsigned k = argc > 4 ? std::atoi(argv[4]) : 2u;
+  const models::OoOConfig cfg{n, k};
+  const models::BugSpec bug{kind, slice};
+
+  std::printf("injected bug kind %d at slice %u (ROB size %u, width %u)\n\n",
+              static_cast<int>(kind), slice, n, k);
+
+  // Strategy 1: rewriting rules — structural detection.
+  {
+    core::VerifyOptions opts;
+    const core::VerifyReport rep = core::verify(cfg, bug, opts);
+    if (rep.verdict == core::Verdict::RewriteMismatch) {
+      std::printf("rewriting rules: non-conforming slice %u\n  reason: %s\n",
+                  rep.rewriteFailedSlice, rep.rewriteMessage.c_str());
+    } else if (rep.verdict == core::Verdict::Correct) {
+      std::printf("rewriting rules: design verified CORRECT (the defect is "
+                  "not observable)\n");
+    }
+  }
+
+  // Strategy 2 (small configs): Positive Equality + SAT counterexample.
+  if (n > 6) {
+    std::printf("\n(PE-only counterexample search skipped: ROB too large)\n");
+    return 0;
+  }
+  eufm::Context cx;
+  const models::Isa isa = models::Isa::declare(cx);
+  auto impl = models::buildOoO(cx, isa, cfg, bug);
+  auto spec = models::buildSpec(cx, isa);
+  const core::Diagram d = core::buildDiagram(cx, *impl, *spec);
+  const evc::Translation tr = evc::translate(cx, d.correctness, {});
+  std::vector<bool> model;
+  const sat::Result r = sat::solveCnf(tr.cnf, &model, nullptr, 2000000);
+  if (r != sat::Result::Sat) {
+    std::printf("\nPE-only: no counterexample found (result %d) — the "
+                "defect is not a safety violation\n",
+                static_cast<int>(r));
+    return 0;
+  }
+  std::printf("\nPE-only: counterexample found (CNF %u vars / %zu clauses). "
+              "Decoded control signals:\n",
+              tr.cnf.numVars, tr.cnf.numClauses());
+  auto show = [&](const char* label, eufm::Expr var) {
+    if (const auto v = tr.modelValue(cx, var, model))
+      std::printf("  %-16s = %s\n", label, *v ? "true" : "false");
+  };
+  for (unsigned i = 0; i < n; ++i) {
+    const std::string idx = std::to_string(i + 1);
+    show(("Valid_" + idx).c_str(), impl->init.valid[i]);
+    show(("ValidResult_" + idx).c_str(), impl->init.validResult[i]);
+    show(("NDExecute_" + idx).c_str(), impl->init.ndExecute[i]);
+  }
+  for (unsigned j = 0; j < k; ++j)
+    show(("NDFetch_" + std::to_string(j + 1)).c_str(), impl->init.ndFetch[j]);
+  std::printf(
+      "\n(a schedule under which the buggy design diverges from the ISA)\n");
+  return 0;
+}

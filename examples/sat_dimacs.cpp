@@ -1,0 +1,83 @@
+// Standalone DIMACS front end for the CDCL solver — the Chaff-analogue
+// substrate is usable on its own:
+//
+//   $ ./sat_dimacs problem.cnf [--proof out.drat]     # or on stdin
+//   s SATISFIABLE / s UNSATISFIABLE and a "v" model line, SAT-competition
+//   style. With --proof, an UNSAT answer is self-checked with the built-in
+//   RUP verifier and the DRAT proof is written out.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "prop/cnf.hpp"
+#include "sat/drat.hpp"
+#include "sat/solver.hpp"
+
+using namespace velev;
+
+int main(int argc, char** argv) {
+  const char* inputPath = nullptr;
+  const char* proofPath = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--proof") && i + 1 < argc)
+      proofPath = argv[++i];
+    else
+      inputPath = argv[i];
+  }
+
+  prop::Cnf cnf;
+  try {
+    if (inputPath) {
+      std::ifstream in(inputPath);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", inputPath);
+        return 2;
+      }
+      cnf = prop::parseDimacs(in);
+    } else {
+      cnf = prop::parseDimacs(std::cin);
+    }
+  } catch (const InternalError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 2;
+  }
+
+  std::vector<bool> model;
+  sat::Stats stats;
+  sat::Proof proof;
+  const sat::Result r = sat::solveCnf(cnf, &model, &stats, -1,
+                                      proofPath ? &proof : nullptr);
+  std::printf("c %u variables, %zu clauses\n", cnf.numVars,
+              cnf.numClauses());
+  std::printf("c %llu conflicts, %llu decisions, %llu propagations, "
+              "%llu restarts\n",
+              static_cast<unsigned long long>(stats.conflicts),
+              static_cast<unsigned long long>(stats.decisions),
+              static_cast<unsigned long long>(stats.propagations),
+              static_cast<unsigned long long>(stats.restarts));
+  switch (r) {
+    case sat::Result::Sat: {
+      std::printf("s SATISFIABLE\nv ");
+      for (std::uint32_t v = 1; v <= cnf.numVars; ++v)
+        std::printf("%s%u ", model[v] ? "" : "-", v);
+      std::printf("0\n");
+      return 10;
+    }
+    case sat::Result::Unsat: {
+      if (proofPath) {
+        const bool certified = sat::checkRup(cnf, proof);
+        std::printf("c proof: %zu steps, self-check %s\n", proof.size(),
+                    certified ? "PASSED" : "FAILED");
+        std::ofstream out(proofPath);
+        sat::writeDrat(proof, out);
+        if (!certified) return 2;
+      }
+      std::printf("s UNSATISFIABLE\n");
+      return 20;
+    }
+    default:
+      std::printf("s UNKNOWN\n");
+      return 0;
+  }
+}

@@ -1,0 +1,59 @@
+#include "core/diagram.hpp"
+
+namespace velev::core {
+
+using eufm::Expr;
+
+Diagram buildDiagram(eufm::Context& cx, models::OoOProcessor& impl,
+                     models::SpecProcessor& spec,
+                     const tlsim::Simulator::Options& simOpts) {
+  Diagram d;
+  const unsigned k = impl.config.issueWidth;
+  const unsigned flushCycles = impl.flushCycles();
+
+  // --- Specification side: flush the initial state... -----------------------
+  {
+    tlsim::Simulator flushSim(impl.netlist, simOpts);
+    flushSim.setInput(impl.flush, cx.mkTrue());
+    for (unsigned c = 0; c < flushCycles; ++c) flushSim.step();
+    d.specPc.push_back(flushSim.state(impl.pc));
+    d.specRegFile.push_back(flushSim.state(impl.regFile));
+    d.flushSimStats = flushSim.stats();
+  }
+
+  // ...then run the specification for m = 1..k steps from the flushed state.
+  {
+    tlsim::Simulator specSim(spec.netlist, simOpts);
+    specSim.setState(spec.pc, d.specPc[0]);
+    specSim.setState(spec.regFile, d.specRegFile[0]);
+    for (unsigned m = 1; m <= k; ++m) {
+      specSim.step();
+      d.specPc.push_back(specSim.state(spec.pc));
+      d.specRegFile.push_back(specSim.state(spec.regFile));
+    }
+  }
+
+  // --- Implementation side: one regular cycle, then flush. -------------------
+  {
+    tlsim::Simulator implSim(impl.netlist, simOpts);
+    implSim.setInput(impl.flush, cx.mkFalse());
+    implSim.step();
+    implSim.setInput(impl.flush, cx.mkTrue());
+    for (unsigned c = 0; c < flushCycles; ++c) implSim.step();
+    d.implPc = implSim.state(impl.pc);
+    d.implRegFile = implSim.state(impl.regFile);
+    d.implSimStats = implSim.stats();
+  }
+
+  // --- Correctness: in-sync update by 0, 1, ..., or k instructions. ----------
+  Expr correctness = cx.mkFalse();
+  for (unsigned m = 0; m <= k; ++m) {
+    const Expr eqPc = cx.mkEq(d.implPc, d.specPc[m]);
+    const Expr eqRf = cx.mkEq(d.implRegFile, d.specRegFile[m]);
+    correctness = cx.mkOr(correctness, cx.mkAnd(eqPc, eqRf));
+  }
+  d.correctness = correctness;
+  return d;
+}
+
+}  // namespace velev::core

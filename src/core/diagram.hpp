@@ -1,0 +1,41 @@
+// Construction of the Burch–Dill commutative diagram (Sect. 5).
+//
+// Specification side: the abstraction function (flushing by completion
+// functions) applied to the *initial* implementation state, followed by
+// m = 0..k steps of the specification processor.
+// Implementation side: one cycle of regular operation, followed by the
+// abstraction function.
+//
+// The correctness criterion: the user-visible state (PC and Register File)
+// is updated in sync by 0, or 1, ..., or k instructions:
+//   correctness = ⋁_{m=0..k} (PC_Impl = PC_Spec,m) ∧ (RF_Impl = RF_Spec,m).
+#pragma once
+
+#include <vector>
+
+#include "models/ooo.hpp"
+#include "models/spec.hpp"
+#include "tlsim/sim.hpp"
+
+namespace velev::core {
+
+struct Diagram {
+  eufm::Expr correctness = eufm::kNoExpr;
+
+  eufm::Expr implPc = eufm::kNoExpr;
+  eufm::Expr implRegFile = eufm::kNoExpr;
+  std::vector<eufm::Expr> specPc;       // index m = 0..k
+  std::vector<eufm::Expr> specRegFile;  // index m = 0..k
+
+  tlsim::Simulator::Stats implSimStats;   // regular cycle + flush
+  tlsim::Simulator::Stats flushSimStats;  // abstraction of the initial state
+};
+
+/// Symbolically simulate both sides of the diagram and assemble the
+/// correctness formula. `simOpts` selects the cone-of-influence optimization
+/// (on by default; off reproduces the naive full re-evaluation).
+Diagram buildDiagram(eufm::Context& cx, models::OoOProcessor& impl,
+                     models::SpecProcessor& spec,
+                     const tlsim::Simulator::Options& simOpts = {});
+
+}  // namespace velev::core

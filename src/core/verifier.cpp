@@ -1,0 +1,90 @@
+#include "core/verifier.hpp"
+
+#include "rewrite/engine.hpp"
+#include "support/timer.hpp"
+
+namespace velev::core {
+
+using eufm::Expr;
+
+VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
+                        models::OoOProcessor& impl,
+                        models::SpecProcessor& spec,
+                        const VerifyOptions& opts) {
+  VerifyReport rep;
+  Timer timer;
+
+  // 1. Symbolic simulation of the commutative diagram.
+  Diagram d = buildDiagram(cx, impl, spec, opts.sim);
+  rep.simStats = d.implSimStats;
+  rep.simSeconds = timer.seconds();
+
+  Expr correctness = d.correctness;
+  evc::TranslateOptions topts;
+  topts.ufScheme = opts.ufScheme;
+
+  // 2. Rewriting rules (optional): prove & remove the updates of the
+  //    instructions initially in the ROB, then re-assemble the correctness
+  //    formula from the simplified Register File expressions.
+  if (opts.strategy == Strategy::RewritingPlusPositiveEquality) {
+    timer.reset();
+    rewrite::RewriteResult rw = rewrite::rewriteRobUpdates(
+        cx, isa, impl.init, impl.config, d.implRegFile, d.specRegFile);
+    rep.rewriteSeconds = timer.seconds();
+    if (!rw.ok) {
+      rep.verdict = Verdict::RewriteMismatch;
+      rep.rewriteFailedSlice = rw.failedSlice;
+      rep.rewriteMessage = rw.message;
+      return rep;
+    }
+    rep.updatesRemoved = rw.updatesRemoved;
+    Expr c = cx.mkFalse();
+    for (unsigned m = 0; m < d.specPc.size(); ++m) {
+      const Expr eqPc = cx.mkEq(d.implPc, d.specPc[m]);
+      const Expr eqRf = cx.mkEq(rw.implRegFile, rw.specRegFile[m]);
+      c = cx.mkOr(c, cx.mkAnd(eqPc, eqRf));
+    }
+    correctness = c;
+    topts.conservativeMemory = true;
+  }
+
+  // 3. EUFM -> propositional -> CNF via Positive Equality.
+  timer.reset();
+  evc::Translation tr = evc::translate(cx, correctness, topts);
+  rep.evcStats = tr.stats;
+  rep.translateSeconds = timer.seconds();
+
+  // 4. SAT check: the design is correct iff the CNF is unsatisfiable.
+  if (opts.skipSat) {
+    rep.verdict = Verdict::Inconclusive;
+    return rep;
+  }
+  timer.reset();
+  rep.satResult =
+      sat::solveCnf(tr.cnf, nullptr, &rep.satStats, opts.satConflictBudget);
+  rep.satSeconds = timer.seconds();
+
+  switch (rep.satResult) {
+    case sat::Result::Unsat:
+      rep.verdict = Verdict::Correct;
+      break;
+    case sat::Result::Sat:
+      rep.verdict = Verdict::CounterexampleFound;
+      break;
+    case sat::Result::Unknown:
+      rep.verdict = Verdict::Inconclusive;
+      break;
+  }
+  return rep;
+}
+
+VerifyReport verify(const models::OoOConfig& cfg, const models::BugSpec& bug,
+                    const VerifyOptions& opts) {
+  eufm::Context cx;
+  const models::Isa isa = models::Isa::declare(cx);
+  auto impl = models::buildOoO(cx, isa, cfg, bug);
+  auto spec = models::buildSpec(cx, isa);
+  return verifyWith(cx, isa, *impl, *spec, opts);
+}
+
+}  // namespace velev::core

@@ -1,0 +1,205 @@
+#include "eufm/eval.hpp"
+
+#include <unordered_set>
+
+#include "eufm/memsort.hpp"
+#include "eufm/traverse.hpp"
+#include "support/hash.hpp"
+
+namespace velev::eufm {
+
+namespace {
+
+// Tags mixed into hashes so the pseudo-random streams for term variables,
+// Boolean variables, functions and memory bases are independent.
+constexpr std::uint64_t kTagTerm = 0x5445524dULL;   // "TERM"
+constexpr std::uint64_t kTagBool = 0x424f4f4cULL;   // "BOOL"
+constexpr std::uint64_t kTagFunc = 0x46554e43ULL;   // "FUNC"
+constexpr std::uint64_t kTagMem = 0x4d454d00ULL;    // "MEM"
+
+}  // namespace
+
+namespace {
+void inferMemSorts(const Context& cx, Expr root,
+                   std::unordered_set<Expr>& mem) {
+  const Expr roots[] = {root};
+  inferMemorySorted(cx, roots, mem);
+}
+}  // namespace
+
+std::uint64_t Evaluator::scalarOf(const Value& v) const {
+  VELEV_CHECK_MSG(v.tag == Value::Tag::Scalar,
+                  "memory value used where a scalar was expected");
+  return v.scalar;
+}
+
+std::uint64_t Evaluator::readMem(const Value& m, std::uint64_t addr) const {
+  VELEV_CHECK(m.tag == Value::Tag::Mem);
+  auto it = m.mem.find(addr);
+  if (it != m.mem.end()) return it->second;
+  // Base content of memory `base` at `addr`: an independent random function.
+  return hashValues({in_.seed(), kTagMem, m.scalar, addr}) % in_.domain();
+}
+
+bool Evaluator::valuesEqual(const Value& a, const Value& b) const {
+  if (a.tag != b.tag) return false;
+  if (a.tag == Value::Tag::Scalar) return a.scalar == b.scalar;
+  // Extensional memory equality: memories over different bases differ on
+  // some unwritten cell (bases are independent random functions), so they
+  // are considered unequal; over the same base, compare the union of
+  // written cells against each other / the base default.
+  if (a.scalar != b.scalar) return false;
+  for (const auto& [addr, val] : a.mem)
+    if (readMem(b, addr) != val) return false;
+  for (const auto& [addr, val] : b.mem)
+    if (readMem(a, addr) != val) return false;
+  return true;
+}
+
+std::uint64_t Evaluator::hashValue(const Value& v) const {
+  if (v.tag == Value::Tag::Scalar) return mix64(v.scalar + 1);
+  // Normalize: drop cells equal to the base default so that extensionally
+  // equal memories hash identically (keeps UFs applied to memories
+  // functionally consistent in the finite model).
+  std::uint64_t h = hashValues({kTagMem, v.scalar});
+  for (const auto& [addr, val] : v.mem) {
+    const std::uint64_t def =
+        hashValues({in_.seed(), kTagMem, v.scalar, addr}) % in_.domain();
+    if (val != def) h = hashValues({h, addr, val});
+  }
+  return h;
+}
+
+bool Evaluator::evalFormula(Expr f) {
+  VELEV_CHECK(cx_.isFormula(f));
+  const std::size_t before = memSorted_.size();
+  inferMemSorts(cx_, f, memSorted_);
+  if (memSorted_.size() != before) {
+    // Memory-sort knowledge grew: earlier memoized values may have treated a
+    // now-memory variable as a scalar.
+    fmemo_.clear();
+    tmemo_.clear();
+  }
+  return evalFormulaInner(f);
+}
+
+bool Evaluator::evalFormulaInner(Expr f) {
+  auto it = fmemo_.find(f);
+  if (it != fmemo_.end()) return it->second;
+  bool r = false;
+  switch (cx_.kind(f)) {
+    case Kind::True:
+      r = true;
+      break;
+    case Kind::False:
+      r = false;
+      break;
+    case Kind::BoolVar: {
+      if (auto ov = in_.boolOverride(f)) {
+        r = *ov;
+      } else {
+        r = (hashValues({in_.seed(), kTagBool, cx_.varSym(f)}) & 1) != 0;
+      }
+      break;
+    }
+    case Kind::Up: {
+      std::uint64_t h =
+          hashValues({in_.seed(), kTagFunc, cx_.funcOf(f), 0x50});
+      for (Expr a : cx_.args(f)) h = hashCombine(h, hashValue(evalTermInner(a)));
+      r = (mix64(h) & 1) != 0;
+      break;
+    }
+    case Kind::Eq:
+      r = valuesEqual(evalTermInner(cx_.arg(f, 0)),
+                      evalTermInner(cx_.arg(f, 1)));
+      break;
+    case Kind::Not:
+      r = !evalFormulaInner(cx_.arg(f, 0));
+      break;
+    case Kind::And:
+      r = evalFormulaInner(cx_.arg(f, 0)) && evalFormulaInner(cx_.arg(f, 1));
+      break;
+    case Kind::Or:
+      r = evalFormulaInner(cx_.arg(f, 0)) || evalFormulaInner(cx_.arg(f, 1));
+      break;
+    case Kind::IteF:
+      r = evalFormulaInner(cx_.arg(f, 0))
+              ? evalFormulaInner(cx_.arg(f, 1))
+              : evalFormulaInner(cx_.arg(f, 2));
+      break;
+    default:
+      VELEV_UNREACHABLE("term kind in formula position");
+  }
+  fmemo_.emplace(f, r);
+  return r;
+}
+
+Value Evaluator::evalTerm(Expr t) {
+  VELEV_CHECK(cx_.isTerm(t));
+  const std::size_t before = memSorted_.size();
+  inferMemSorts(cx_, t, memSorted_);
+  if (memSorted_.size() != before) {
+    fmemo_.clear();
+    tmemo_.clear();
+  }
+  return evalTermInner(t);
+}
+
+Value Evaluator::evalTermInner(Expr t) {
+  auto it = tmemo_.find(t);
+  if (it != tmemo_.end()) return it->second;
+  Value r;
+  switch (cx_.kind(t)) {
+    case Kind::TermVar: {
+      if (memSorted_.count(t) || in_.isMemVar(t)) {
+        r = Value::makeMem(cx_.varSym(t));
+      } else if (auto ov = in_.termOverride(t)) {
+        r = Value::makeScalar(*ov);
+      } else {
+        r = Value::makeScalar(
+            hashValues({in_.seed(), kTagTerm, cx_.varSym(t)}) % in_.domain());
+      }
+      break;
+    }
+    case Kind::Uf: {
+      std::uint64_t h =
+          hashValues({in_.seed(), kTagFunc, cx_.funcOf(t), 0x46});
+      for (Expr a : cx_.args(t)) h = hashCombine(h, hashValue(evalTermInner(a)));
+      r = Value::makeScalar(mix64(h) % in_.domain());
+      break;
+    }
+    case Kind::IteT:
+      r = evalFormulaInner(cx_.arg(t, 0)) ? evalTermInner(cx_.arg(t, 1))
+                                          : evalTermInner(cx_.arg(t, 2));
+      break;
+    case Kind::Read: {
+      const Value m = evalTermInner(cx_.arg(t, 0));
+      const std::uint64_t addr = scalarOf(evalTermInner(cx_.arg(t, 1)));
+      r = Value::makeScalar(readMem(m, addr));
+      break;
+    }
+    case Kind::Write: {
+      Value m = evalTermInner(cx_.arg(t, 0));
+      VELEV_CHECK_MSG(m.tag == Value::Tag::Mem,
+                      "write applied to a non-memory value");
+      const std::uint64_t addr = scalarOf(evalTermInner(cx_.arg(t, 1)));
+      const std::uint64_t data = scalarOf(evalTermInner(cx_.arg(t, 2)));
+      m.mem[addr] = data;
+      r = m;
+      break;
+    }
+    default:
+      VELEV_UNREACHABLE("formula kind in term position");
+  }
+  tmemo_.emplace(t, r);
+  return r;
+}
+
+bool evalFormula(const Context& cx, Expr f, std::uint64_t seed,
+                 std::uint64_t domain) {
+  Interp in(seed, domain);
+  Evaluator ev(cx, in);
+  return ev.evalFormula(f);
+}
+
+}  // namespace velev::eufm

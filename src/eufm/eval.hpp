@@ -1,0 +1,127 @@
+// Evaluation of EUFM expressions under *finite interpretations*.
+//
+// This is the semantic ground truth used by the test suite: a formula is
+// EUFM-valid only if it evaluates to true under every interpretation, so
+// randomized finite interpretations give an effective refutation oracle for
+// every transformation in the pipeline (memory elimination, UF elimination,
+// rewriting rules, propositional translation).
+//
+// An interpretation fixes:
+//   * a domain size D; term variables map to values in [0, D) derived from
+//     a seed (so equalities between distinct variables occur with
+//     probability 1/D — small D exercises the aliasing cases);
+//   * Boolean variables map to seeded pseudo-random bits;
+//   * every UF of arity n maps to a pseudo-random function  D^n -> D,
+//     every UP to a pseudo-random predicate D^n -> {0,1}  (deterministic in
+//     the seed, so evaluation is functionally consistent by construction);
+//   * memory-sorted values are finite maps over a base: a term variable used
+//     as a memory evaluates to the empty map over its own private base
+//     function; `write` extends the map; `read` consults the map and falls
+//     back to the base. Two memories are equal iff they are extensionally
+//     equal (same base and agreeing maps).
+//
+// Overrides allow tests to pin specific variables to specific values.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eufm/expr.hpp"
+
+namespace velev::eufm {
+
+/// A value of the term sort: either a scalar or a memory (finite map).
+struct Value {
+  enum class Tag : std::uint8_t { Scalar, Mem } tag = Tag::Scalar;
+  std::uint64_t scalar = 0;  // Scalar: the value. Mem: the base id.
+  std::map<std::uint64_t, std::uint64_t> mem;  // Mem only: written cells.
+
+  static Value makeScalar(std::uint64_t v) {
+    Value r;
+    r.tag = Tag::Scalar;
+    r.scalar = v;
+    return r;
+  }
+  static Value makeMem(std::uint64_t base) {
+    Value r;
+    r.tag = Tag::Mem;
+    r.scalar = base;
+    return r;
+  }
+  bool operator==(const Value& o) const = default;
+};
+
+class Interp {
+ public:
+  /// `domainSize` — number of distinct scalar values (>= 2 recommended).
+  Interp(std::uint64_t seed, std::uint64_t domainSize)
+      : seed_(seed), domain_(domainSize) {
+    VELEV_CHECK(domainSize >= 1);
+  }
+
+  void setBool(Expr var, bool v) { boolOverride_[var] = v; }
+  void setTerm(Expr var, std::uint64_t v) { termOverride_[var] = v; }
+  /// Force a term variable to be interpreted as a (fresh, empty) memory.
+  void setMem(Expr var) { memVars_.insert({var, true}); }
+
+  std::uint64_t seed() const { return seed_; }
+  std::uint64_t domain() const { return domain_; }
+
+  std::optional<bool> boolOverride(Expr var) const {
+    auto it = boolOverride_.find(var);
+    if (it == boolOverride_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::optional<std::uint64_t> termOverride(Expr var) const {
+    auto it = termOverride_.find(var);
+    if (it == termOverride_.end()) return std::nullopt;
+    return it->second;
+  }
+  bool isMemVar(Expr var) const { return memVars_.count(var) != 0; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t domain_;
+  std::unordered_map<Expr, bool> boolOverride_;
+  std::unordered_map<Expr, std::uint64_t> termOverride_;
+  std::unordered_map<Expr, bool> memVars_;
+};
+
+/// Evaluates expressions from one Context under one interpretation,
+/// memoizing per node. Whether a term variable denotes a scalar or a memory
+/// is inferred from use (appearing as the memory argument of read/write) or
+/// forced via Interp::setMem.
+///
+/// The evaluator recurses over the DAG (unlike the production traversals,
+/// which are iterative): it is a testing oracle for moderate expression
+/// depths (tens of thousands), not for paper-scale update chains.
+class Evaluator {
+ public:
+  Evaluator(const Context& cx, const Interp& in) : cx_(cx), in_(in) {}
+
+  bool evalFormula(Expr f);
+  Value evalTerm(Expr t);
+
+ private:
+  bool evalFormulaInner(Expr f);
+  Value evalTermInner(Expr t);
+  std::uint64_t scalarOf(const Value& v) const;
+  std::uint64_t readMem(const Value& m, std::uint64_t addr) const;
+  bool valuesEqual(const Value& a, const Value& b) const;
+  std::uint64_t hashValue(const Value& v) const;
+
+  const Context& cx_;
+  const Interp& in_;
+  std::unordered_map<Expr, bool> fmemo_;
+  std::unordered_map<Expr, Value> tmemo_;
+  std::unordered_set<Expr> memSorted_;
+};
+
+/// Convenience: evaluate a closed formula under (seed, domain).
+bool evalFormula(const Context& cx, Expr f, std::uint64_t seed,
+                 std::uint64_t domain);
+
+}  // namespace velev::eufm

@@ -1,0 +1,52 @@
+#include "eufm/memsort.hpp"
+
+#include <vector>
+
+#include "eufm/traverse.hpp"
+
+namespace velev::eufm {
+
+void inferMemorySorted(const Context& cx, std::span<const Expr> roots,
+                       std::unordered_set<Expr>& mem) {
+  std::vector<Expr> cone;
+  postorder(cx, roots, [&](Expr e) { cone.push_back(e); });
+  bool changed = true;
+  auto add = [&](Expr e) {
+    if (mem.insert(e).second) changed = true;
+  };
+  while (changed) {
+    changed = false;
+    for (Expr e : cone) {
+      switch (cx.kind(e)) {
+        case Kind::Write:
+          add(e);
+          add(cx.arg(e, 0));
+          break;
+        case Kind::Read:
+          add(cx.arg(e, 0));
+          break;
+        case Kind::IteT: {
+          const Expr t = cx.arg(e, 1), el = cx.arg(e, 2);
+          if (mem.count(e)) {
+            add(t);
+            add(el);
+          }
+          if (mem.count(t) || mem.count(el)) add(e);
+          break;
+        }
+        case Kind::Eq: {
+          const Expr a = cx.arg(e, 0), b = cx.arg(e, 1);
+          if (mem.count(a) || mem.count(b)) {
+            add(a);
+            add(b);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace velev::eufm

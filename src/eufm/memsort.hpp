@@ -1,0 +1,30 @@
+// Memory-sort inference: which term nodes denote memory-array states.
+//
+// EUFM has a single term sort; whether a term is a memory is a matter of
+// use. Seeds are `write` nodes and the memory argument of `read`/`write`;
+// membership propagates through ITE branches and across equations (both
+// sides of an equation must have the same sort). Used by the finite-model
+// evaluator and by EVC's memory-elimination passes.
+#pragma once
+
+#include <span>
+#include <unordered_set>
+
+#include "eufm/expr.hpp"
+
+namespace velev::eufm {
+
+/// Extend `mem` with every memory-sorted node in the cones of `roots`
+/// (fixpoint).
+void inferMemorySorted(const Context& cx, std::span<const Expr> roots,
+                       std::unordered_set<Expr>& mem);
+
+inline std::unordered_set<Expr> inferMemorySorted(const Context& cx,
+                                                  Expr root) {
+  std::unordered_set<Expr> mem;
+  const Expr roots[] = {root};
+  inferMemorySorted(cx, roots, mem);
+  return mem;
+}
+
+}  // namespace velev::eufm

@@ -1,0 +1,112 @@
+#include "eufm/print.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "eufm/traverse.hpp"
+
+namespace velev::eufm {
+
+namespace {
+
+const char* opName(Kind k) {
+  switch (k) {
+    case Kind::False: return "false";
+    case Kind::True: return "true";
+    case Kind::Eq: return "=";
+    case Kind::Not: return "not";
+    case Kind::And: return "and";
+    case Kind::Or: return "or";
+    case Kind::IteF: return "ite";
+    case Kind::IteT: return "ite";
+    case Kind::Read: return "read";
+    case Kind::Write: return "write";
+    default: return "?";
+  }
+}
+
+// Build the printed form of every node in the cone, bottom-up, rendering
+// children by substitution (`inlineChildren` = true) or by id reference.
+std::unordered_map<Expr, std::string> renderCone(const Context& cx, Expr root,
+                                                 bool inlineChildren) {
+  std::unordered_map<Expr, std::string> out;
+  postorder(cx, root, [&](Expr e) {
+    std::string s;
+    const Kind k = cx.kind(e);
+    switch (k) {
+      case Kind::BoolVar:
+      case Kind::TermVar:
+        s = cx.varName(e);
+        break;
+      case Kind::True:
+      case Kind::False:
+        s = opName(k);
+        break;
+      default: {
+        s = "(";
+        if (k == Kind::Uf || k == Kind::Up)
+          s += cx.func(cx.funcOf(e)).name;
+        else
+          s += opName(k);
+        for (Expr a : cx.args(e)) {
+          s += ' ';
+          if (inlineChildren)
+            s += out.at(a);
+          else
+            s += 'n' + std::to_string(a);
+        }
+        s += ')';
+        break;
+      }
+    }
+    out.emplace(e, std::move(s));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::string toString(const Context& cx, Expr e) {
+  return renderCone(cx, e, /*inlineChildren=*/true).at(e);
+}
+
+void printDag(const Context& cx, Expr e, std::ostream& os) {
+  auto rendered = renderCone(cx, e, /*inlineChildren=*/false);
+  postorder(cx, e, [&](Expr n) {
+    os << 'n' << n << " := " << rendered.at(n) << '\n';
+  });
+}
+
+DagStats stats(const Context& cx, Expr root) {
+  DagStats s;
+  postorder(cx, root, [&](Expr e) {
+    ++s.total;
+    switch (cx.kind(e)) {
+      case Kind::TermVar: ++s.termVars; break;
+      case Kind::BoolVar: ++s.boolVars; break;
+      case Kind::Uf: ++s.ufApps; break;
+      case Kind::Up: ++s.upApps; break;
+      case Kind::Eq: ++s.equations; break;
+      case Kind::IteF:
+      case Kind::IteT: ++s.ites; break;
+      case Kind::Read: ++s.reads; break;
+      case Kind::Write: ++s.writes; break;
+      case Kind::Not:
+      case Kind::And:
+      case Kind::Or: ++s.connectives; break;
+      default: break;
+    }
+  });
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const DagStats& s) {
+  os << "nodes=" << s.total << " termVars=" << s.termVars
+     << " boolVars=" << s.boolVars << " uf=" << s.ufApps << " up=" << s.upApps
+     << " eq=" << s.equations << " ite=" << s.ites << " read=" << s.reads
+     << " write=" << s.writes << " conn=" << s.connectives;
+  return os;
+}
+
+}  // namespace velev::eufm

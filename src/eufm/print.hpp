@@ -1,0 +1,39 @@
+// Printing and statistics for EUFM expressions.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "eufm/expr.hpp"
+
+namespace velev::eufm {
+
+/// Render `e` as an s-expression, e.g. (ite (and fetch1 v) (NextPC PC) PC).
+/// Shared subterms are printed in full each time they occur, so this is for
+/// debugging small expressions; use `printDag` for large ones.
+std::string toString(const Context& cx, Expr e);
+
+/// Print the DAG reachable from `e`, one node per line, with ids, so shared
+/// structure is visible: `n42 := (ite n7 n13 n40)`.
+void printDag(const Context& cx, Expr e, std::ostream& os);
+
+/// Node-count statistics over the cone of `root`.
+struct DagStats {
+  std::size_t total = 0;
+  std::size_t termVars = 0;
+  std::size_t boolVars = 0;
+  std::size_t ufApps = 0;
+  std::size_t upApps = 0;
+  std::size_t equations = 0;
+  std::size_t ites = 0;
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  std::size_t connectives = 0;  // Not / And / Or
+};
+
+DagStats stats(const Context& cx, Expr root);
+
+std::ostream& operator<<(std::ostream& os, const DagStats& s);
+
+}  // namespace velev::eufm

@@ -1,0 +1,58 @@
+// Iterative DAG traversal helpers. The correctness formulas for large reorder
+// buffers contain update chains thousands of nodes deep, so recursive
+// traversals are avoided throughout the library.
+#pragma once
+
+#include <vector>
+
+#include "eufm/expr.hpp"
+
+namespace velev::eufm {
+
+/// Visit every node reachable from the roots exactly once, children before
+/// parents (postorder). `visit(Expr)` is called once per node.
+template <typename Visit>
+void postorder(const Context& cx, std::span<const Expr> roots, Visit&& visit) {
+  std::vector<char> seen(cx.numNodes(), 0);  // 0 new, 1 on stack, 2 done
+  std::vector<Expr> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    const Expr e = stack.back();
+    if (seen[e] == 2) {
+      stack.pop_back();
+      continue;
+    }
+    if (seen[e] == 1) {
+      seen[e] = 2;
+      stack.pop_back();
+      visit(e);
+      continue;
+    }
+    seen[e] = 1;
+    for (Expr a : cx.args(e))
+      if (!seen[a]) stack.push_back(a);
+  }
+}
+
+template <typename Visit>
+void postorder(const Context& cx, Expr root, Visit&& visit) {
+  const Expr roots[] = {root};
+  postorder(cx, std::span<const Expr>(roots, 1), visit);
+}
+
+/// Collect all distinct variables (Bool and Term) reachable from `root`.
+inline std::vector<Expr> collectVars(const Context& cx, Expr root) {
+  std::vector<Expr> vars;
+  postorder(cx, root, [&](Expr e) {
+    if (cx.isVar(e)) vars.push_back(e);
+  });
+  return vars;
+}
+
+/// Count reachable nodes from `root`.
+inline std::size_t dagSize(const Context& cx, Expr root) {
+  std::size_t n = 0;
+  postorder(cx, root, [&](Expr) { ++n; });
+  return n;
+}
+
+}  // namespace velev::eufm

@@ -1,0 +1,121 @@
+#include "evc/encode.hpp"
+
+#include "support/hash.hpp"
+
+namespace velev::evc {
+
+using eufm::Context;
+using eufm::Expr;
+using eufm::Kind;
+using prop::PLit;
+
+namespace {
+
+struct PairHash {
+  std::size_t operator()(const std::pair<Expr, Expr>& p) const {
+    return static_cast<std::size_t>(hashValues({p.first, p.second}));
+  }
+};
+
+class EncoderImpl {
+ public:
+  EncoderImpl(const Context& cx, const std::unordered_set<Expr>& gVars,
+              Encoding& out)
+      : cx_(cx), gVars_(gVars), out_(out), pctx_(*out.pctx) {}
+
+  PLit encF(Expr f) {
+    auto it = fmemo_.find(f);
+    if (it != fmemo_.end()) return it->second;
+    PLit r = prop::kFalse;
+    switch (cx_.kind(f)) {
+      case Kind::True:
+        r = prop::kTrue;
+        break;
+      case Kind::False:
+        r = prop::kFalse;
+        break;
+      case Kind::BoolVar: {
+        auto vit = out_.boolVarLit.find(f);
+        if (vit == out_.boolVarLit.end())
+          vit = out_.boolVarLit.emplace(f, pctx_.mkVar()).first;
+        r = vit->second;
+        break;
+      }
+      case Kind::Not:
+        r = prop::negate(encF(cx_.arg(f, 0)));
+        break;
+      case Kind::And:
+        r = pctx_.mkAnd(encF(cx_.arg(f, 0)), encF(cx_.arg(f, 1)));
+        break;
+      case Kind::Or:
+        r = pctx_.mkOr(encF(cx_.arg(f, 0)), encF(cx_.arg(f, 1)));
+        break;
+      case Kind::IteF:
+        r = pctx_.mkIte(encF(cx_.arg(f, 0)), encF(cx_.arg(f, 1)),
+                        encF(cx_.arg(f, 2)));
+        break;
+      case Kind::Eq:
+        r = encEq(cx_.arg(f, 0), cx_.arg(f, 1));
+        break;
+      case Kind::Up:
+        VELEV_UNREACHABLE("UP application reached the encoder");
+      default:
+        VELEV_UNREACHABLE("term kind in formula position");
+    }
+    fmemo_.emplace(f, r);
+    return r;
+  }
+
+  PLit encEq(Expr a, Expr b) {
+    if (a == b) return prop::kTrue;
+    if (a > b) std::swap(a, b);
+    const auto key = std::make_pair(a, b);
+    auto it = eqMemo_.find(key);
+    if (it != eqMemo_.end()) return it->second;
+    PLit r;
+    if (cx_.kind(a) == Kind::IteT) {
+      const PLit c = encF(cx_.arg(a, 0));
+      r = pctx_.mkIte(c, encEq(cx_.arg(a, 1), b), encEq(cx_.arg(a, 2), b));
+    } else if (cx_.kind(b) == Kind::IteT) {
+      const PLit c = encF(cx_.arg(b, 0));
+      r = pctx_.mkIte(c, encEq(a, cx_.arg(b, 1)), encEq(a, cx_.arg(b, 2)));
+    } else {
+      VELEV_CHECK_MSG(cx_.kind(a) == Kind::TermVar &&
+                          cx_.kind(b) == Kind::TermVar,
+                      "non-variable leaf reached the equality encoder");
+      if (gVars_.count(a) && gVars_.count(b)) {
+        auto eit = out_.eijLit.find(key);
+        if (eit == out_.eijLit.end())
+          eit = out_.eijLit.emplace(key, pctx_.mkVar()).first;
+        r = eit->second;
+      } else {
+        // Maximal diversity: a p-term variable differs from every other
+        // variable.
+        r = prop::kFalse;
+      }
+    }
+    eqMemo_.emplace(key, r);
+    return r;
+  }
+
+ private:
+  const Context& cx_;
+  const std::unordered_set<Expr>& gVars_;
+  Encoding& out_;
+  prop::PropCtx& pctx_;
+  std::unordered_map<Expr, PLit> fmemo_;
+  std::unordered_map<std::pair<Expr, Expr>, PLit, PairHash> eqMemo_;
+};
+
+}  // namespace
+
+Encoding encode(const Context& cx, Expr root,
+                const std::unordered_set<Expr>& gVars) {
+  Encoding out;
+  out.pctx = std::make_unique<prop::PropCtx>();
+  EncoderImpl enc(cx, gVars, out);
+  out.root = enc.encF(root);
+  return out;
+}
+
+}  // namespace velev::evc

@@ -1,0 +1,40 @@
+// Translation of a UF-free, memory-free EUFM formula into the propositional
+// layer, exploiting Positive Equality:
+//   * equations are pushed through ITE structure down to variable pairs;
+//   * a pair of syntactically distinct variables where either side is a
+//     p-term encodes to FALSE (maximally diverse interpretation);
+//   * a pair of distinct g-term variables encodes to a fresh e_ij Boolean
+//     variable (Goel et al., CAV'98), collected for the transitivity pass.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eufm/expr.hpp"
+#include "prop/prop.hpp"
+
+namespace velev::evc {
+
+struct Encoding {
+  std::unique_ptr<prop::PropCtx> pctx;
+  prop::PLit root = prop::kFalse;
+
+  /// EUFM Boolean variable -> propositional input literal.
+  std::unordered_map<eufm::Expr, prop::PLit> boolVarLit;
+  /// g-variable pair (ordered) -> e_ij propositional input literal.
+  std::map<std::pair<eufm::Expr, eufm::Expr>, prop::PLit> eijLit;
+
+  unsigned numEij() const { return static_cast<unsigned>(eijLit.size()); }
+  unsigned numOtherPrimary() const {
+    return static_cast<unsigned>(boolVarLit.size());
+  }
+};
+
+/// Encode `root` (which must contain no UF/UP applications and no memory
+/// operators). `gVars` is the set of term variables classified as g-terms.
+Encoding encode(const eufm::Context& cx, eufm::Expr root,
+                const std::unordered_set<eufm::Expr>& gVars);
+
+}  // namespace velev::evc

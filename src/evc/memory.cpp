@@ -1,0 +1,220 @@
+#include "evc/memory.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eufm/memsort.hpp"
+#include "eufm/traverse.hpp"
+#include "evc/polarity.hpp"
+#include "support/hash.hpp"
+
+namespace velev::evc {
+
+using eufm::Context;
+using eufm::Expr;
+using eufm::Kind;
+
+namespace {
+
+/// Check that every equation between memory-sorted terms occurs in positive
+/// polarity only: the fresh-address reduction Skolemizes the existential
+/// "some address differs" in the negated formula, which is sound only there.
+void checkMemEqPolarities(const Context& cx, Expr root,
+                          const std::unordered_set<Expr>& memSorted) {
+  const auto pol = computePolarities(cx, root);
+  for (const auto& [f, m] : pol) {
+    if (cx.kind(f) != Kind::Eq) continue;
+    if (!memSorted.count(cx.arg(f, 0)) && !memSorted.count(cx.arg(f, 1)))
+      continue;
+    VELEV_CHECK_MSG((m & kPolNeg) == 0,
+                    "memory equation in negative polarity is not supported");
+  }
+}
+
+struct PairHash {
+  std::size_t operator()(const std::pair<Expr, Expr>& p) const {
+    return static_cast<std::size_t>(hashValues({p.first, p.second}));
+  }
+};
+
+// Shared machinery for both elimination passes. Rewrites the DAG bottom-up;
+// the virtual hooks decide what happens to reads, writes and memory
+// equations.
+class MemRewriter {
+ public:
+  MemRewriter(Context& cx, std::unordered_set<Expr> memSorted)
+      : cx_(cx), memSorted_(std::move(memSorted)) {}
+  virtual ~MemRewriter() = default;
+
+  Expr rewriteAll(Expr root) {
+    eufm::postorder(cx_, root, [&](Expr e) { map_[e] = rewriteNode(e); });
+    return map_.at(root);
+  }
+
+  unsigned memoryEquations = 0;
+
+ protected:
+  Expr mapped(Expr e) const { return map_.at(e); }
+  bool isMemSorted(Expr e) const { return memSorted_.count(e) != 0; }
+
+  virtual Expr onRead(Expr mem, Expr addr) = 0;
+  virtual Expr onWrite(Expr mem, Expr addr, Expr data) = 0;
+
+  Context& cx_;
+
+ private:
+  Expr rewriteNode(Expr e) {
+    switch (cx_.kind(e)) {
+      case Kind::True:
+      case Kind::False:
+      case Kind::BoolVar:
+      case Kind::TermVar:
+        return e;
+      case Kind::Not:
+        return cx_.mkNot(mapped(cx_.arg(e, 0)));
+      case Kind::And:
+        return cx_.mkAnd(mapped(cx_.arg(e, 0)), mapped(cx_.arg(e, 1)));
+      case Kind::Or:
+        return cx_.mkOr(mapped(cx_.arg(e, 0)), mapped(cx_.arg(e, 1)));
+      case Kind::IteF:
+        return cx_.mkIteF(mapped(cx_.arg(e, 0)), mapped(cx_.arg(e, 1)),
+                          mapped(cx_.arg(e, 2)));
+      case Kind::IteT:
+        return cx_.mkIteT(mapped(cx_.arg(e, 0)), mapped(cx_.arg(e, 1)),
+                          mapped(cx_.arg(e, 2)));
+      case Kind::Eq: {
+        const Expr a = cx_.arg(e, 0), b = cx_.arg(e, 1);
+        if (isMemSorted(a) || isMemSorted(b)) {
+          // One fresh address per distinct memory equation (Skolemization of
+          // the negated formula).
+          ++memoryEquations;
+          const Expr va = cx_.freshTermVar("va");
+          return cx_.mkEq(onRead(mapped(a), va), onRead(mapped(b), va));
+        }
+        return cx_.mkEq(mapped(a), mapped(b));
+      }
+      case Kind::Up:
+      case Kind::Uf: {
+        std::vector<Expr> args;
+        for (Expr a : cx_.args(e)) args.push_back(mapped(a));
+        return cx_.apply(cx_.funcOf(e), args);
+      }
+      case Kind::Read:
+        return onRead(mapped(cx_.arg(e, 0)), mapped(cx_.arg(e, 1)));
+      case Kind::Write:
+        return onWrite(mapped(cx_.arg(e, 0)), mapped(cx_.arg(e, 1)),
+                       mapped(cx_.arg(e, 2)));
+      default:
+        VELEV_UNREACHABLE("unhandled kind");
+    }
+  }
+
+  std::unordered_set<Expr> memSorted_;
+  std::unordered_map<Expr, Expr> map_;
+};
+
+/// Full memory semantics: expand reads through write/ITE structure down to
+/// base memory variables, then abstract base reads with read$ applications.
+class FullRewriter final : public MemRewriter {
+ public:
+  FullRewriter(Context& cx, std::unordered_set<Expr> memSorted)
+      : MemRewriter(cx, std::move(memSorted)),
+        readUf_(cx.declareFunc("read$", 2)) {}
+
+  unsigned expandedReads = 0;
+
+ protected:
+  Expr onRead(Expr mem, Expr addr) override { return expand(mem, addr); }
+
+  Expr onWrite(Expr mem, Expr addr, Expr data) override {
+    // Writes are kept structurally; they disappear from the formula because
+    // every read over them is expanded.
+    return cx_.mkWrite(mem, addr, data);
+  }
+
+ private:
+  Expr expand(Expr mem, Expr addr) {
+    const auto key = std::make_pair(mem, addr);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    Expr r;
+    switch (cx_.kind(mem)) {
+      case Kind::Write: {
+        // Forwarding property: a read returns the last write to the same
+        // address, else falls through to the previous state.
+        ++expandedReads;
+        const Expr wm = cx_.arg(mem, 0), wa = cx_.arg(mem, 1),
+                   wd = cx_.arg(mem, 2);
+        r = cx_.mkIteT(cx_.mkEq(addr, wa), wd, expand(wm, addr));
+        break;
+      }
+      case Kind::IteT:
+        r = cx_.mkIteT(cx_.arg(mem, 0), expand(cx_.arg(mem, 1), addr),
+                       expand(cx_.arg(mem, 2), addr));
+        break;
+      case Kind::TermVar:
+        r = cx_.apply(readUf_, {mem, addr});
+        break;
+      default:
+        VELEV_UNREACHABLE("read applied to a non-memory term");
+    }
+    memo_.emplace(key, r);
+    return r;
+  }
+
+  eufm::FuncId readUf_;
+  std::unordered_map<std::pair<Expr, Expr>, Expr, PairHash> memo_;
+};
+
+/// Conservative memory model: read/write become completely general
+/// uninterpreted functions without the forwarding property (TACAS'01).
+class ConservativeRewriter final : public MemRewriter {
+ public:
+  ConservativeRewriter(Context& cx, std::unordered_set<Expr> memSorted)
+      : MemRewriter(cx, std::move(memSorted)),
+        readUf_(cx.declareFunc("read$", 2)),
+        writeUf_(cx.declareFunc("write$", 3)) {}
+
+ protected:
+  Expr onRead(Expr mem, Expr addr) override {
+    return cx_.apply(readUf_, {mem, addr});
+  }
+  Expr onWrite(Expr mem, Expr addr, Expr data) override {
+    return cx_.apply(writeUf_, {mem, addr, data});
+  }
+
+ private:
+  eufm::FuncId readUf_;
+  eufm::FuncId writeUf_;
+};
+
+}  // namespace
+
+MemoryElimResult eliminateMemoryFull(Context& cx, Expr root) {
+  auto memSorted = eufm::inferMemorySorted(cx, root);
+  checkMemEqPolarities(cx, root, memSorted);
+  FullRewriter rw(cx, std::move(memSorted));
+  MemoryElimResult res;
+  res.root = rw.rewriteAll(root);
+  res.memoryEquations = rw.memoryEquations;
+  res.expandedReads = rw.expandedReads;
+  // No memory operator may survive in the rewritten formula's cone.
+  eufm::postorder(cx, res.root, [&](Expr e) {
+    const Kind k = cx.kind(e);
+    VELEV_CHECK_MSG(k != Kind::Read && k != Kind::Write,
+                    "memory operator survived full elimination");
+  });
+  return res;
+}
+
+MemoryElimResult eliminateMemoryConservative(Context& cx, Expr root) {
+  auto memSorted = eufm::inferMemorySorted(cx, root);
+  checkMemEqPolarities(cx, root, memSorted);
+  ConservativeRewriter rw(cx, std::move(memSorted));
+  MemoryElimResult res;
+  res.root = rw.rewriteAll(root);
+  res.memoryEquations = rw.memoryEquations;
+  return res;
+}
+
+}  // namespace velev::evc

@@ -1,0 +1,39 @@
+// Memory elimination — the two memory models of the Velev flow.
+//
+// Both passes first reduce every equation between memory-sorted terms to an
+// equation between reads at a fresh symbolic address (one fresh address
+// variable per distinct memory equation — the Skolemization of the negated
+// correctness formula's "exists an address where the register files differ").
+// Memory equations must occur in positive polarity only (they do, in
+// Burch–Dill correctness formulas); this is checked.
+//
+// `eliminateMemoryFull` then applies the forwarding property of the memory
+// semantics: read(write(m,a,d),x) = ITE(x=a, d, read(m,x)), pushing reads
+// down to the initial memory-state variables, and finally abstracts each
+// base read as an application of a per-memory uninterpreted function
+// read$<mem>. The introduced address equalities appear as ITE controls and
+// become g-equations — the source of the e_ij variables of Tables 2-3.
+//
+// `eliminateMemoryConservative` (TACAS'01) abstracts read/write with
+// *completely general* uninterpreted functions that do not satisfy the
+// forwarding property. This is a sound over-approximation, and suffices
+// after the rewriting rules have removed the out-of-order updates: the
+// remaining instructions update both sides in program order. No address
+// equalities are introduced, so no e_ij variables arise (Table 5).
+#pragma once
+
+#include "eufm/expr.hpp"
+
+namespace velev::evc {
+
+struct MemoryElimResult {
+  eufm::Expr root = eufm::kNoExpr;
+  unsigned memoryEquations = 0;  // reduced to read-equations
+  unsigned expandedReads = 0;    // full model: reads pushed through writes
+};
+
+MemoryElimResult eliminateMemoryFull(eufm::Context& cx, eufm::Expr root);
+MemoryElimResult eliminateMemoryConservative(eufm::Context& cx,
+                                             eufm::Expr root);
+
+}  // namespace velev::evc

@@ -1,0 +1,144 @@
+#include "evc/polarity.hpp"
+
+#include <vector>
+
+namespace velev::evc {
+
+using eufm::Context;
+using eufm::Expr;
+using eufm::Kind;
+
+namespace {
+
+std::uint8_t flip(std::uint8_t m) {
+  return static_cast<std::uint8_t>(((m & kPolPos) << 1) | ((m & kPolNeg) >> 1));
+}
+
+struct PolarityWalker {
+  const Context& cx;
+  std::unordered_map<Expr, std::uint8_t> mask;     // formula nodes
+  std::unordered_set<Expr> termSeen;               // term nodes (visited once)
+  std::vector<std::pair<Expr, std::uint8_t>> work; // formula worklist
+
+  void pushFormula(Expr f, std::uint8_t m) {
+    std::uint8_t& cur = mask[f];
+    const std::uint8_t added = static_cast<std::uint8_t>(m & ~cur);
+    if (!added) return;
+    cur |= added;
+    work.emplace_back(f, added);
+  }
+
+  // Terms carry no polarity of their own, but ITE controls inside them are
+  // both-polarity formulas, and UP/UF argument terms must be walked too.
+  void visitTerm(Expr t) {
+    std::vector<Expr> stack = {t};
+    while (!stack.empty()) {
+      const Expr e = stack.back();
+      stack.pop_back();
+      if (!termSeen.insert(e).second) continue;
+      switch (cx.kind(e)) {
+        case Kind::IteT:
+          pushFormula(cx.arg(e, 0), kPolBoth);
+          stack.push_back(cx.arg(e, 1));
+          stack.push_back(cx.arg(e, 2));
+          break;
+        case Kind::Uf:
+        case Kind::Read:
+        case Kind::Write:
+          for (Expr a : cx.args(e)) stack.push_back(a);
+          break;
+        default:
+          break;  // TermVar
+      }
+    }
+  }
+
+  void run(Expr root) {
+    pushFormula(root, kPolPos);
+    while (!work.empty()) {
+      auto [f, m] = work.back();
+      work.pop_back();
+      switch (cx.kind(f)) {
+        case Kind::Not:
+          pushFormula(cx.arg(f, 0), flip(m));
+          break;
+        case Kind::And:
+        case Kind::Or:
+          pushFormula(cx.arg(f, 0), m);
+          pushFormula(cx.arg(f, 1), m);
+          break;
+        case Kind::IteF:
+          pushFormula(cx.arg(f, 0), kPolBoth);
+          pushFormula(cx.arg(f, 1), m);
+          pushFormula(cx.arg(f, 2), m);
+          break;
+        case Kind::Eq:
+          visitTerm(cx.arg(f, 0));
+          visitTerm(cx.arg(f, 1));
+          break;
+        case Kind::Up:
+          for (Expr a : cx.args(f)) visitTerm(a);
+          break;
+        default:
+          break;  // True/False/BoolVar
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unordered_map<Expr, std::uint8_t> computePolarities(const Context& cx,
+                                                         Expr root) {
+  VELEV_CHECK(cx.isFormula(root));
+  PolarityWalker w{cx, {}, {}, {}};
+  w.run(root);
+  return w.mask;
+}
+
+Classification classify(const Context& cx, Expr root) {
+  auto pol = computePolarities(cx, root);
+  Classification cl;
+
+  // Collect g-equations; mark the term structure on both sides.
+  std::vector<Expr> stack;
+  std::unordered_set<Expr> marked;
+  for (const auto& [f, m] : pol) {
+    if (cx.kind(f) != Kind::Eq) continue;
+    if ((m & kPolNeg) == 0) {
+      ++cl.pEquations;
+      continue;
+    }
+    ++cl.gEquations;
+    stack.push_back(cx.arg(f, 0));
+    stack.push_back(cx.arg(f, 1));
+  }
+  // Propagate g-ness through ITE branches; UF applications taint the
+  // function symbol (their outputs become g-terms) but not their arguments.
+  while (!stack.empty()) {
+    const Expr t = stack.back();
+    stack.pop_back();
+    if (!marked.insert(t).second) continue;
+    switch (cx.kind(t)) {
+      case Kind::TermVar:
+        cl.gVars.insert(t);
+        break;
+      case Kind::IteT:
+        stack.push_back(cx.arg(t, 1));
+        stack.push_back(cx.arg(t, 2));
+        break;
+      case Kind::Uf:
+        cl.gFuncs.insert(cx.funcOf(t));
+        break;
+      case Kind::Read:
+      case Kind::Write:
+        VELEV_UNREACHABLE(
+            "memory operator in a g-equation: run memory elimination first");
+      default:
+        VELEV_UNREACHABLE("unexpected term kind");
+    }
+  }
+  return cl;
+}
+
+}  // namespace velev::evc

@@ -1,0 +1,50 @@
+// Polarity analysis and p-/g-term classification (Positive Equality,
+// Bryant–German–Velev TOCL'01).
+//
+// An equation is *negative* if it occurs under an odd number of negations or
+// as (part of) the controlling formula of an ITE. Equations occurring only
+// positively are p-equations; the others are g-equations. Term variables
+// feeding only p-equations are p-terms and may be given a maximally diverse
+// interpretation (distinct constants); term variables reachable from either
+// side of some g-equation are g-terms, whose pairwise equalities must be
+// encoded with e_ij Boolean variables.
+//
+// Uninterpreted-function outputs are classified at function-symbol
+// granularity: if any application of f flows into a g-equation, the fresh
+// variables introduced when eliminating *all* applications of f are treated
+// as g-terms (sound, since the nested-ITE chains mix the per-application
+// variables).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eufm/expr.hpp"
+
+namespace velev::evc {
+
+constexpr std::uint8_t kPolPos = 1;
+constexpr std::uint8_t kPolNeg = 2;
+constexpr std::uint8_t kPolBoth = kPolPos | kPolNeg;
+
+/// Polarity mask of every formula node reachable from `root` (ITE controls —
+/// of both sorts — count as both polarities).
+std::unordered_map<eufm::Expr, std::uint8_t> computePolarities(
+    const eufm::Context& cx, eufm::Expr root);
+
+struct Classification {
+  /// Term variables that must be treated as general terms.
+  std::unordered_set<eufm::Expr> gVars;
+  /// Function symbols whose outputs are general terms.
+  std::unordered_set<eufm::FuncId> gFuncs;
+  unsigned gEquations = 0;
+  unsigned pEquations = 0;
+
+  bool isGVar(eufm::Expr v) const { return gVars.count(v) != 0; }
+};
+
+/// Classify the (memory-free) formula `root`: find g-equations and mark the
+/// term variables / function symbols feeding them.
+Classification classify(const eufm::Context& cx, eufm::Expr root);
+
+}  // namespace velev::evc

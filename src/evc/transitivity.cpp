@@ -1,0 +1,93 @@
+#include "evc/transitivity.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace velev::evc {
+
+TransitivityStats addTransitivityConstraints(
+    const std::map<std::pair<eufm::Expr, eufm::Expr>, std::uint32_t>& edges,
+    prop::Cnf& cnf) {
+  TransitivityStats st;
+  if (edges.empty()) return st;
+
+  // Dense vertex ids for the g-variables involved.
+  std::unordered_map<eufm::Expr, unsigned> vertexId;
+  auto vid = [&](eufm::Expr v) {
+    auto it = vertexId.find(v);
+    if (it == vertexId.end())
+      it = vertexId.emplace(v, static_cast<unsigned>(vertexId.size())).first;
+    return it->second;
+  };
+  // adj[u][v] = CNF variable of edge (u,v).
+  std::vector<std::unordered_map<unsigned, std::uint32_t>> adj;
+  auto ensure = [&](unsigned u) {
+    if (adj.size() <= u) adj.resize(u + 1);
+  };
+  for (const auto& [pair, var] : edges) {
+    const unsigned a = vid(pair.first), b = vid(pair.second);
+    ensure(std::max(a, b));
+    adj[a][b] = var;
+    adj[b][a] = var;
+  }
+
+  const unsigned n = static_cast<unsigned>(adj.size());
+  std::vector<char> eliminated(n, 0);
+
+  auto addTriangle = [&](std::uint32_t ab, std::uint32_t bc,
+                         std::uint32_t ac) {
+    const auto l = [](std::uint32_t v) { return static_cast<prop::CnfLit>(v); };
+    cnf.addClause({-l(ab), -l(bc), l(ac)});
+    cnf.addClause({-l(ab), -l(ac), l(bc)});
+    cnf.addClause({-l(bc), -l(ac), l(ab)});
+    ++st.triangles;
+    st.clauses += 3;
+  };
+
+  // Minimum-degree elimination. Eliminating u connects its remaining
+  // neighbours pairwise (fresh variables for fill-in edges) and emits the
+  // triangle constraints (u, a, b) for every such pair.
+  for (unsigned round = 0; round < n; ++round) {
+    unsigned best = n;
+    std::size_t bestDeg = 0;
+    for (unsigned u = 0; u < n; ++u) {
+      if (eliminated[u]) continue;
+      std::size_t deg = 0;
+      for (const auto& [v, var] : adj[u])
+        if (!eliminated[v]) ++deg;
+      if (best == n || deg < bestDeg) {
+        best = u;
+        bestDeg = deg;
+      }
+    }
+    VELEV_CHECK(best != n);
+    const unsigned u = best;
+    eliminated[u] = 1;
+    std::vector<unsigned> nbrs;
+    for (const auto& [v, var] : adj[u])
+      if (!eliminated[v]) nbrs.push_back(v);
+    std::sort(nbrs.begin(), nbrs.end());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        const unsigned a = nbrs[i], b = nbrs[j];
+        auto it = adj[a].find(b);
+        std::uint32_t abVar;
+        if (it == adj[a].end()) {
+          abVar = cnf.newVar();
+          adj[a][b] = abVar;
+          adj[b][a] = abVar;
+          ++st.fillInEdges;
+        } else {
+          abVar = it->second;
+        }
+        addTriangle(adj[u][nbrs[i]], adj[u][nbrs[j]], abVar);
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace velev::evc

@@ -1,0 +1,79 @@
+#include "evc/translate.hpp"
+
+#include "evc/memory.hpp"
+#include "evc/polarity.hpp"
+#include "evc/ufelim.hpp"
+
+namespace velev::evc {
+
+using eufm::Expr;
+
+Translation translate(eufm::Context& cx, Expr correctness,
+                      const TranslateOptions& opts) {
+  Translation tr;
+
+  // 1. Memory elimination.
+  const MemoryElimResult mem =
+      opts.conservativeMemory ? eliminateMemoryConservative(cx, correctness)
+                              : eliminateMemoryFull(cx, correctness);
+  tr.stats.memoryEquations = mem.memoryEquations;
+
+  // 2. Positive-equality classification.
+  const Classification cl = classify(cx, mem.root);
+  tr.stats.gEquations = cl.gEquations;
+  tr.stats.pEquations = cl.pEquations;
+
+  // 3. UF/UP elimination.
+  std::unordered_set<Expr> gVars;
+  UfElimResult uf;
+  if (opts.ufScheme == UfScheme::NestedIte) {
+    uf = eliminateUf(cx, mem.root, cl);
+    gVars = cl.gVars;
+    gVars.insert(uf.freshGVars.begin(), uf.freshGVars.end());
+  } else {
+    // Ackermann: the consistency antecedents put every equality in mixed
+    // polarity, so the classification must be redone on the result — the
+    // Positive Equality reduction is forfeited (ablation baseline).
+    uf = eliminateUfAckermann(cx, mem.root, cl);
+    const Classification cl2 = classify(cx, uf.root);
+    gVars = cl2.gVars;
+    tr.stats.gEquations = cl2.gEquations;
+    tr.stats.pEquations = cl2.pEquations;
+  }
+  tr.stats.freshTermVars = uf.freshTermVars;
+  tr.stats.freshBoolVars = uf.freshBoolVars;
+  tr.stats.gVars = static_cast<unsigned>(gVars.size());
+
+  // 4. Propositional encoding with e_ij variables.
+  Encoding enc = encode(cx, uf.root, gVars);
+  tr.stats.eijVars = enc.numEij();
+  tr.stats.otherPrimaryVars = enc.numOtherPrimary();
+
+  // 5. CNF of the negation + transitivity constraints.
+  tr.cnf = prop::tseitin(*enc.pctx, enc.root, /*negateRoot=*/true);
+  std::map<std::pair<Expr, Expr>, std::uint32_t> eijCnfVars;
+  for (const auto& [pair, lit] : enc.eijLit)
+    eijCnfVars.emplace(pair, enc.pctx->varIndex(prop::nodeOf(lit)) + 1);
+  tr.stats.transitivity = addTransitivityConstraints(eijCnfVars, tr.cnf);
+  tr.stats.cnfVars = tr.cnf.numVars;
+  tr.stats.cnfClauses = tr.cnf.numClauses();
+
+  tr.validityRoot = enc.root;
+  tr.boolVarLit = std::move(enc.boolVarLit);
+  tr.eijLit = std::move(enc.eijLit);
+  tr.pctx = std::move(enc.pctx);
+  return tr;
+}
+
+std::optional<bool> Translation::modelValue(
+    const eufm::Context& cx, Expr boolVar,
+    const std::vector<bool>& model) const {
+  VELEV_CHECK(cx.kind(boolVar) == eufm::Kind::BoolVar);
+  auto it = boolVarLit.find(boolVar);
+  if (it == boolVarLit.end()) return std::nullopt;
+  const std::uint32_t var = pctx->varIndex(prop::nodeOf(it->second)) + 1;
+  if (var >= model.size()) return std::nullopt;
+  return model[var] != prop::isNegated(it->second);
+}
+
+}  // namespace velev::evc

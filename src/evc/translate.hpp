@@ -1,0 +1,75 @@
+// EVC: end-to-end translation of an EUFM correctness formula to CNF.
+//
+// Pipeline (Sect. 2 of the paper):
+//   1. memory elimination — full forwarding semantics, or the conservative
+//      general-UF abstraction (used after the rewriting rules);
+//   2. p-/g-term classification (Positive Equality);
+//   3. UF/UP elimination by the nested-ITE scheme;
+//   4. propositional encoding with e_ij variables for g-variable pairs;
+//   5. Tseitin CNF of the *negated* formula plus transitivity constraints —
+//      the design is correct iff this CNF is unsatisfiable.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "eufm/expr.hpp"
+#include "evc/encode.hpp"
+#include "evc/transitivity.hpp"
+#include "prop/cnf.hpp"
+
+namespace velev::evc {
+
+enum class UfScheme {
+  NestedIte,  // Bryant–German–Velev: preserves Positive Equality (default)
+  Ackermann,  // ablation baseline: forfeits Positive Equality
+};
+
+struct TranslateOptions {
+  /// Use the conservative (general-UF) memory model. Sound always; complete
+  /// enough once out-of-order updates have been removed by rewriting.
+  bool conservativeMemory = false;
+  UfScheme ufScheme = UfScheme::NestedIte;
+};
+
+struct TranslationStats {
+  unsigned eijVars = 0;
+  unsigned otherPrimaryVars = 0;  // Boolean variables of the formula
+  unsigned totalPrimaryVars() const { return eijVars + otherPrimaryVars; }
+  std::size_t cnfVars = 0;
+  std::size_t cnfClauses = 0;
+  unsigned gEquations = 0;
+  unsigned pEquations = 0;
+  unsigned gVars = 0;
+  unsigned memoryEquations = 0;
+  unsigned freshTermVars = 0;
+  unsigned freshBoolVars = 0;
+  TransitivityStats transitivity;
+};
+
+struct Translation {
+  /// Propositional form of the correctness formula (validity target).
+  std::unique_ptr<prop::PropCtx> pctx;
+  prop::PLit validityRoot = prop::kFalse;
+  /// CNF of ¬validityRoot plus transitivity constraints: UNSAT <=> correct.
+  prop::Cnf cnf;
+  TranslationStats stats;
+
+  /// Variable maps for decoding SAT models back to the EUFM level: a
+  /// propositional input literal's CNF variable is its input index + 1.
+  std::unordered_map<eufm::Expr, prop::PLit> boolVarLit;
+  std::map<std::pair<eufm::Expr, eufm::Expr>, prop::PLit> eijLit;
+
+  /// Value of an EUFM Boolean variable in a SAT model (indexed by CNF
+  /// variable, entry 0 unused); nullopt if the variable does not occur.
+  std::optional<bool> modelValue(const eufm::Context& cx, eufm::Expr boolVar,
+                                 const std::vector<bool>& model) const;
+};
+
+Translation translate(eufm::Context& cx, eufm::Expr correctness,
+                      const TranslateOptions& opts = {});
+
+}  // namespace velev::evc

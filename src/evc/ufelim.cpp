@@ -1,0 +1,243 @@
+#include "evc/ufelim.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "eufm/traverse.hpp"
+
+namespace velev::evc {
+
+using eufm::Context;
+using eufm::Expr;
+using eufm::Kind;
+
+namespace {
+
+/// Eager maximal-diversity simplification of equalities between UF-free
+/// terms (one of EVC's "conservative transformations"). Equations are pushed
+/// through ITE structure; a pair of syntactically distinct variables where
+/// either side is a p-term simplifies to FALSE, exactly as the encoder would
+/// decide later. Applying this while building the functional-consistency
+/// match conditions keeps the nested-ITE chains collapsed: without it the
+/// chains grow quadratically and the downstream encoding becomes quartic in
+/// the issue width.
+class EqSimplifier {
+ public:
+  EqSimplifier(Context& cx, const Classification& cl,
+               const std::unordered_set<Expr>& freshG)
+      : cx_(cx), cl_(cl), freshG_(freshG) {}
+
+  Expr eq(Expr a, Expr b) {
+    if (a == b) return cx_.mkTrue();
+    if (a > b) std::swap(a, b);
+    const auto key = std::make_pair(a, b);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    Expr r;
+    if (cx_.kind(a) == Kind::IteT) {
+      r = cx_.mkIteF(cx_.arg(a, 0), eq(cx_.arg(a, 1), b),
+                     eq(cx_.arg(a, 2), b));
+    } else if (cx_.kind(b) == Kind::IteT) {
+      r = cx_.mkIteF(cx_.arg(b, 0), eq(a, cx_.arg(b, 1)),
+                     eq(a, cx_.arg(b, 2)));
+    } else {
+      VELEV_CHECK(cx_.kind(a) == Kind::TermVar &&
+                  cx_.kind(b) == Kind::TermVar);
+      r = (isG(a) && isG(b)) ? cx_.mkEq(a, b) : cx_.mkFalse();
+    }
+    memo_.emplace(key, r);
+    return r;
+  }
+
+ private:
+  bool isG(Expr v) const { return cl_.gVars.count(v) || freshG_.count(v); }
+
+  struct PairHash {
+    std::size_t operator()(const std::pair<Expr, Expr>& p) const {
+      return static_cast<std::size_t>(p.first) * 0x9e3779b97f4a7c15ULL ^
+             p.second;
+    }
+  };
+  Context& cx_;
+  const Classification& cl_;
+  const std::unordered_set<Expr>& freshG_;
+  std::unordered_map<std::pair<Expr, Expr>, Expr, PairHash> memo_;
+};
+
+}  // namespace
+
+UfElimResult eliminateUf(Context& cx, Expr root, const Classification& cl) {
+  UfElimResult res;
+  std::unordered_map<Expr, Expr> map;
+  auto mapped = [&](Expr e) { return map.at(e); };
+  EqSimplifier simp(cx, cl, res.freshGVars);
+
+  struct App {
+    std::vector<Expr> args;
+    Expr var;
+  };
+  std::unordered_map<eufm::FuncId, std::vector<App>> apps;
+
+  eufm::postorder(cx, root, [&](Expr e) {
+    Expr r = eufm::kNoExpr;
+    switch (cx.kind(e)) {
+      case Kind::True:
+      case Kind::False:
+      case Kind::BoolVar:
+      case Kind::TermVar:
+        r = e;
+        break;
+      case Kind::Not:
+        r = cx.mkNot(mapped(cx.arg(e, 0)));
+        break;
+      case Kind::And:
+        r = cx.mkAnd(mapped(cx.arg(e, 0)), mapped(cx.arg(e, 1)));
+        break;
+      case Kind::Or:
+        r = cx.mkOr(mapped(cx.arg(e, 0)), mapped(cx.arg(e, 1)));
+        break;
+      case Kind::IteF:
+        r = cx.mkIteF(mapped(cx.arg(e, 0)), mapped(cx.arg(e, 1)),
+                      mapped(cx.arg(e, 2)));
+        break;
+      case Kind::IteT:
+        r = cx.mkIteT(mapped(cx.arg(e, 0)), mapped(cx.arg(e, 1)),
+                      mapped(cx.arg(e, 2)));
+        break;
+      case Kind::Eq:
+        r = cx.mkEq(mapped(cx.arg(e, 0)), mapped(cx.arg(e, 1)));
+        break;
+      case Kind::Uf:
+      case Kind::Up: {
+        const eufm::FuncId f = cx.funcOf(e);
+        const bool isPred = cx.kind(e) == Kind::Up;
+        std::vector<Expr> args;
+        for (Expr a : cx.args(e)) args.push_back(mapped(a));
+        // Fresh variable for this application.
+        const std::string& fname = cx.func(f).name;
+        Expr fresh;
+        if (isPred) {
+          fresh = cx.freshBoolVar(fname + "$");
+          ++res.freshBoolVars;
+        } else {
+          fresh = cx.freshTermVar(fname + "$");
+          ++res.freshTermVars;
+          if (cl.gFuncs.count(f)) res.freshGVars.insert(fresh);
+        }
+        // Nested-ITE chain over all earlier applications of f, earliest
+        // match first.
+        std::vector<App>& prev = apps[f];
+        Expr acc = fresh;
+        for (std::size_t i = prev.size(); i-- > 0;) {
+          Expr match = cx.mkTrue();
+          for (std::size_t a = 0; a < args.size() && match != cx.mkFalse();
+               ++a)
+            match = cx.mkAnd(match, simp.eq(args[a], prev[i].args[a]));
+          acc = isPred ? cx.mkIteF(match, prev[i].var, acc)
+                       : cx.mkIteT(match, prev[i].var, acc);
+        }
+        prev.push_back(App{args, fresh});
+        r = acc;
+        break;
+      }
+      case Kind::Read:
+      case Kind::Write:
+        VELEV_UNREACHABLE("memory operator reached UF elimination");
+      default:
+        VELEV_UNREACHABLE("unhandled kind");
+    }
+    map.emplace(e, r);
+  });
+
+  res.root = map.at(root);
+  return res;
+}
+
+UfElimResult eliminateUfAckermann(Context& cx, Expr root,
+                                  const Classification& cl) {
+  (void)cl;  // Ackermann cannot exploit the classification: everything
+             // becomes general — re-classify the returned formula.
+  UfElimResult res;
+  std::unordered_map<Expr, Expr> map;
+  auto mapped = [&](Expr e) { return map.at(e); };
+
+  struct App {
+    std::vector<Expr> args;
+    Expr var;
+    bool isPred;
+  };
+  std::unordered_map<eufm::FuncId, std::vector<App>> apps;
+  std::vector<Expr> constraints;
+
+  eufm::postorder(cx, root, [&](Expr e) {
+    Expr r = eufm::kNoExpr;
+    switch (cx.kind(e)) {
+      case Kind::True:
+      case Kind::False:
+      case Kind::BoolVar:
+      case Kind::TermVar:
+        r = e;
+        break;
+      case Kind::Not:
+        r = cx.mkNot(mapped(cx.arg(e, 0)));
+        break;
+      case Kind::And:
+        r = cx.mkAnd(mapped(cx.arg(e, 0)), mapped(cx.arg(e, 1)));
+        break;
+      case Kind::Or:
+        r = cx.mkOr(mapped(cx.arg(e, 0)), mapped(cx.arg(e, 1)));
+        break;
+      case Kind::IteF:
+        r = cx.mkIteF(mapped(cx.arg(e, 0)), mapped(cx.arg(e, 1)),
+                      mapped(cx.arg(e, 2)));
+        break;
+      case Kind::IteT:
+        r = cx.mkIteT(mapped(cx.arg(e, 0)), mapped(cx.arg(e, 1)),
+                      mapped(cx.arg(e, 2)));
+        break;
+      case Kind::Eq:
+        r = cx.mkEq(mapped(cx.arg(e, 0)), mapped(cx.arg(e, 1)));
+        break;
+      case Kind::Uf:
+      case Kind::Up: {
+        const eufm::FuncId f = cx.funcOf(e);
+        const bool isPred = cx.kind(e) == Kind::Up;
+        std::vector<Expr> args;
+        for (Expr a : cx.args(e)) args.push_back(mapped(a));
+        Expr fresh;
+        const std::string& fname = cx.func(f).name;
+        if (isPred) {
+          fresh = cx.freshBoolVar(fname + "$ack");
+          ++res.freshBoolVars;
+        } else {
+          fresh = cx.freshTermVar(fname + "$ack");
+          ++res.freshTermVars;
+        }
+        // Pairwise functional-consistency constraints with every earlier
+        // application of f.
+        for (const App& prev : apps[f]) {
+          Expr match = cx.mkTrue();
+          for (std::size_t a = 0; a < args.size(); ++a)
+            match = cx.mkAnd(match, cx.mkEq(args[a], prev.args[a]));
+          const Expr consistent =
+              isPred ? cx.mkIff(fresh, prev.var) : cx.mkEq(fresh, prev.var);
+          constraints.push_back(cx.mkImplies(match, consistent));
+        }
+        apps[f].push_back(App{args, fresh, isPred});
+        r = fresh;
+        break;
+      }
+      case Kind::Read:
+      case Kind::Write:
+        VELEV_UNREACHABLE("memory operator reached UF elimination");
+      default:
+        VELEV_UNREACHABLE("unhandled kind");
+    }
+    map.emplace(e, r);
+  });
+
+  res.root = cx.mkImplies(cx.mkAnd(constraints), map.at(root));
+  return res;
+}
+
+}  // namespace velev::evc

@@ -1,0 +1,48 @@
+// Elimination of uninterpreted functions and predicates by the nested-ITE
+// scheme (Bryant–German–Velev TOCL'01).
+//
+// The j-th application of f (in a fixed bottom-up traversal order) is
+// replaced by
+//   ITE(args = args_1, c_1, ITE(args = args_2, c_2, ... , c_j)),
+// where c_i is the fresh term variable introduced for the i-th application.
+// This imposes exactly functional consistency, and — unlike Ackermann's
+// scheme — preserves the positive-equality structure: the introduced
+// argument comparisons are not counted when classifying p-/g-terms, and a
+// non-matching application evaluates to its own fresh (maximally diverse)
+// variable. Predicates are eliminated the same way with fresh Boolean
+// variables.
+#pragma once
+
+#include <unordered_set>
+
+#include "eufm/expr.hpp"
+#include "evc/polarity.hpp"
+
+namespace velev::evc {
+
+struct UfElimResult {
+  eufm::Expr root = eufm::kNoExpr;
+  /// Fresh term variables originating from g-classified function symbols;
+  /// the encoder unions these with the g-variables of the input formula.
+  std::unordered_set<eufm::Expr> freshGVars;
+  unsigned freshTermVars = 0;
+  unsigned freshBoolVars = 0;
+};
+
+/// Eliminate every UF/UP application in `root`. `cl` supplies the
+/// function-symbol classification (outputs of g-functions yield g-variables).
+UfElimResult eliminateUf(eufm::Context& cx, eufm::Expr root,
+                         const Classification& cl);
+
+/// Ackermann's scheme, provided as an ablation baseline: each application is
+/// replaced by a fresh variable and the functional-consistency constraints
+///   (args_i = args_j) -> (v_i = v_j)
+/// are conjoined as antecedents of the formula. The output equalities v_i =
+/// v_j occur positively in an antecedent — i.e. negatively in the formula —
+/// so EVERY fresh variable becomes a g-term and the Positive Equality
+/// reduction is lost (the point Bryant–German–Velev make for preferring the
+/// nested-ITE scheme; bench/ablation_ufelim quantifies it).
+UfElimResult eliminateUfAckermann(eufm::Context& cx, eufm::Expr root,
+                                  const Classification& cl);
+
+}  // namespace velev::evc

@@ -1,0 +1,42 @@
+// Symbols shared between the implementation and specification processors.
+//
+// Functional units and instruction-field decoders are abstracted by
+// uninterpreted functions/predicates (the same symbol must be used on both
+// sides of the commutative diagram for functional consistency to tie them
+// together):
+//   ALU(op, a, b)  — the (only) functional unit type,
+//   NextPC(pc)     — the PC incrementer,
+//   OpOf/DestOf/Src1Of/Src2Of(instr) — instruction-field extractors,
+//   ValidOf(instr) — predicate: does the instruction write the RegFile.
+// The read-only Instruction Memory is a shared term variable.
+#pragma once
+
+#include "eufm/expr.hpp"
+
+namespace velev::models {
+
+struct Isa {
+  eufm::FuncId alu;
+  eufm::FuncId nextPc;
+  eufm::FuncId opOf;
+  eufm::FuncId destOf;
+  eufm::FuncId src1Of;
+  eufm::FuncId src2Of;
+  eufm::FuncId validOf;  // predicate
+  eufm::Expr imem;       // term variable: instruction-memory state
+
+  static Isa declare(eufm::Context& cx) {
+    Isa isa;
+    isa.alu = cx.declareFunc("ALU", 3);
+    isa.nextPc = cx.declareFunc("NextPC", 1);
+    isa.opOf = cx.declareFunc("OpOf", 1);
+    isa.destOf = cx.declareFunc("DestOf", 1);
+    isa.src1Of = cx.declareFunc("Src1Of", 1);
+    isa.src2Of = cx.declareFunc("Src2Of", 1);
+    isa.validOf = cx.declarePred("ValidOf", 1);
+    isa.imem = cx.termVar("IMem");
+    return isa;
+  }
+};
+
+}  // namespace velev::models

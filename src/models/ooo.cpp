@@ -1,0 +1,271 @@
+#include "models/ooo.hpp"
+
+#include <string>
+
+namespace velev::models {
+
+using eufm::Expr;
+using eufm::Sort;
+using tlsim::SignalId;
+
+namespace {
+std::string numbered(const char* base, unsigned i /*1-based*/) {
+  return std::string(base) + "_" + std::to_string(i);
+}
+}  // namespace
+
+std::unique_ptr<OoOProcessor> buildOoO(eufm::Context& cx, const Isa& isa,
+                                       const OoOConfig& cfg,
+                                       const BugSpec& bug) {
+  const unsigned n = cfg.robSize;
+  const unsigned k = cfg.issueWidth;
+  VELEV_CHECK_MSG(k >= 1 && k <= n,
+                  "issue/retire width must be in [1, robSize]");
+
+  auto p = std::make_unique<OoOProcessor>(cx);
+  p->config = cfg;
+  tlsim::Netlist& nl = p->netlist;
+  const unsigned total = n + k;
+  // Validate the bug site: silently ignoring an out-of-range injection
+  // would make a "verified correct" answer meaningless.
+  if (bug.kind != BugKind::None) {
+    const unsigned limit =
+        bug.kind == BugKind::RetireIgnoresValidResult ? k
+        : bug.kind == BugKind::CompletionSkipsWrite   ? total
+                                                      : n;
+    VELEV_CHECK_MSG(bug.index >= 1 && bug.index <= limit,
+                    "bug slice index " << bug.index
+                                       << " out of range [1, " << limit
+                                       << "] for this bug kind");
+  }
+  // 0-based slice index the bug applies to (bug indices are 1-based).
+  const unsigned bugAt = bug.index == 0 ? 0 : bug.index - 1;
+  auto hasBug = [&](BugKind kind, unsigned i) {
+    return bug.kind == kind && i == bugAt;
+  };
+
+  // ---- inputs and state ------------------------------------------------------
+  p->flush = nl.sInput("flush", Sort::Formula);
+  const SignalId notFlush = nl.sNot(p->flush);
+  p->pc = nl.sLatchFree("PC", Sort::Term);
+  p->regFile = nl.sLatchFree("RegFile", Sort::Term);
+  const SignalId imem = nl.sFixed(isa.imem);
+
+  for (unsigned i = 0; i < total; ++i) {
+    const unsigned nr = i + 1;
+    if (i < n) {
+      p->valid.push_back(nl.sLatchFree(numbered("Valid", nr), Sort::Formula));
+      p->validResult.push_back(
+          nl.sLatchFree(numbered("ValidResult", nr), Sort::Formula));
+    } else {
+      // Extra entries that accept newly fetched instructions start empty.
+      p->valid.push_back(
+          nl.sLatch(numbered("Valid", nr), Sort::Formula, cx.mkFalse()));
+      p->validResult.push_back(nl.sLatch(numbered("ValidResult", nr),
+                                         Sort::Formula, cx.mkFalse()));
+    }
+    p->opcode.push_back(nl.sLatchFree(numbered("Opcode", nr), Sort::Term));
+    p->dest.push_back(nl.sLatchFree(numbered("Dest", nr), Sort::Term));
+    p->src1.push_back(nl.sLatchFree(numbered("Src1", nr), Sort::Term));
+    p->src2.push_back(nl.sLatchFree(numbered("Src2", nr), Sort::Term));
+    p->result.push_back(nl.sLatchFree(numbered("Result", nr), Sort::Term));
+    p->done.push_back(
+        nl.sLatch(numbered("Done", nr), Sort::Formula, cx.mkFalse()));
+  }
+
+  // ---- non-deterministic controls (Sect. 4) ---------------------------------
+  // NDExecute_i abstracts the execute_i scheduling signal; NDFetch_i
+  // abstracts the Scheduler's fetch decisions. Modeled as free Boolean
+  // variables.
+  std::vector<SignalId> ndExec, ndFetch;
+  for (unsigned i = 0; i < n; ++i) {
+    const Expr v = cx.boolVar(numbered("NDExecute", i + 1));
+    p->init.ndExecute.push_back(v);
+    ndExec.push_back(nl.sFixed(v));
+  }
+  for (unsigned j = 0; j < k; ++j) {
+    const Expr v = cx.boolVar(numbered("NDFetch", j + 1));
+    p->init.ndFetch.push_back(v);
+    ndFetch.push_back(nl.sFixed(v));
+  }
+
+  // fetch_i = NDFetch_1 & ... & NDFetch_i: if fetch_i is false, all later
+  // fetch_j are false, so up to k instructions are fetched in program order.
+  std::vector<SignalId> fetch;
+  {
+    SignalId prev = nl.sTrue();
+    for (unsigned j = 0; j < k; ++j) {
+      prev = nl.sAnd(prev, ndFetch[j]);
+      fetch.push_back(prev);
+    }
+  }
+  p->fetch = fetch;
+  std::vector<SignalId> fetchNow;  // gated off during flushing
+  for (unsigned j = 0; j < k; ++j)
+    fetchNow.push_back(nl.sAnd(notFlush, fetch[j]));
+
+  // ---- fetch engine ----------------------------------------------------------
+  // pcc_j = NextPC^j(PC); instruction j is fetched from address pcc_{j-1}.
+  std::vector<SignalId> pcc = {p->pc};
+  for (unsigned j = 1; j <= k; ++j)
+    pcc.push_back(nl.sApply(isa.nextPc, {pcc[j - 1]}));
+  std::vector<SignalId> newOp, newDest, newSrc1, newSrc2, newValidBit;
+  for (unsigned j = 0; j < k; ++j) {
+    const SignalId instr = nl.sRead(imem, pcc[j]);
+    newOp.push_back(nl.sApply(isa.opOf, {instr}));
+    newDest.push_back(nl.sApply(isa.destOf, {instr}));
+    newSrc1.push_back(nl.sApply(isa.src1Of, {instr}));
+    newSrc2.push_back(nl.sApply(isa.src2Of, {instr}));
+    newValidBit.push_back(nl.sApply(isa.validOf, {instr}));
+  }
+
+  // ---- in-order retirement (formula (1)) -------------------------------------
+  // retire_i = (!Valid_i | ValidResult_i) & retire_{i-1}: an instruction
+  // within the retire width retires iff it will not touch the RegFile or its
+  // result is ready and everything ahead retires too.
+  std::vector<SignalId> retire;
+  {
+    SignalId prev = nl.sTrue();
+    for (unsigned i = 0; i < k; ++i) {
+      SignalId retireable =
+          hasBug(BugKind::RetireIgnoresValidResult, i)
+              ? nl.sTrue()
+              : nl.sOr(nl.sNot(p->valid[i]), p->validResult[i]);
+      prev = nl.sAnd(retireable, prev);
+      retire.push_back(prev);
+    }
+  }
+  p->retire = retire;
+
+  // ---- out-of-order execution with forwarding (entries 1..N) ----------------
+  // For each operand, scan preceding entries in program order; the nearest
+  // match overrides, providing Result_j (available only if ValidResult_j).
+  // With no match the operand comes straight from the Register File.
+  std::vector<SignalId> execSig, aluOut;
+  for (unsigned i = 0; i < n; ++i) {
+    SignalId opVal[2], opOk[2];
+    for (unsigned o = 0; o < 2; ++o) {
+      const SignalId mySrc = o == 0 ? p->src1[i] : p->src2[i];
+      // The paper's buggy variant: operand 1 of the buggy slice matches
+      // producers against Src2 instead of Src1.
+      const SignalId matchSrc =
+          (o == 0 && hasBug(BugKind::ForwardingWrongOperand, i)) ? p->src2[i]
+                                                                 : mySrc;
+      SignalId val = nl.sRead(p->regFile, mySrc);
+      SignalId ok = nl.sTrue();
+      for (unsigned j = 0; j < i; ++j) {
+        const SignalId hit =
+            nl.sAnd(p->valid[j], nl.sEq(p->dest[j], matchSrc));
+        val = nl.sIteT(hit, p->result[j], val);
+        const SignalId avail = hasBug(BugKind::ForwardingStaleResult, i)
+                                   ? nl.sTrue()
+                                   : p->validResult[j];
+        ok = nl.sIteF(hit, avail, ok);
+      }
+      opVal[o] = val;
+      opOk[o] = ok;
+    }
+    const SignalId depsOk = nl.sAnd(opOk[0], opOk[1]);
+    const SignalId ready =
+        nl.sAnd(p->valid[i], nl.sAnd(nl.sNot(p->validResult[i]), depsOk));
+    execSig.push_back(nl.sAnd(notFlush, nl.sAnd(ndExec[i], ready)));
+    const SignalId opcodeIn =
+        hasBug(BugKind::AluWrongOpcode, i) ? p->dest[i] : p->opcode[i];
+    aluOut.push_back(nl.sApply(isa.alu, {opcodeIn, opVal[0], opVal[1]}));
+  }
+  p->exec = execSig;
+
+  // ---- completion-function flushing (Sect. 4) --------------------------------
+  // During flushing exactly one slice fires per cycle: the first entry whose
+  // Done bit is still clear, provided everything ahead is done.
+  std::vector<SignalId> fire;
+  {
+    SignalId prefixDone = nl.sTrue();
+    for (unsigned i = 0; i < total; ++i) {
+      fire.push_back(
+          nl.sAnd(p->flush, nl.sAnd(prefixDone, nl.sNot(p->done[i]))));
+      prefixDone = nl.sAnd(prefixDone, p->done[i]);
+    }
+  }
+
+  // ---- Register File update chain --------------------------------------------
+  // Program-order stages: first the (regular-cycle) retirement writes of the
+  // first k entries, then the (flush-time) completion writes of every entry.
+  SignalId rf = p->regFile;
+  for (unsigned i = 0; i < k; ++i) {
+    const SignalId wcond =
+        nl.sAnd(notFlush, nl.sAnd(p->valid[i], retire[i]));
+    rf = nl.sIteT(wcond, nl.sWrite(rf, p->dest[i], p->result[i]), rf);
+  }
+  for (unsigned i = 0; i < total; ++i) {
+    if (hasBug(BugKind::CompletionSkipsWrite, i)) continue;
+    // Completion function: use the stored Result if ready, otherwise read
+    // the operands from the current (partially flushed) Register File and
+    // compute the result instantaneously.
+    const SignalId cdata = nl.sIteT(
+        p->validResult[i], p->result[i],
+        nl.sApply(isa.alu, {p->opcode[i], nl.sRead(rf, p->src1[i]),
+                            nl.sRead(rf, p->src2[i])}));
+    const SignalId wcond = nl.sAnd(fire[i], p->valid[i]);
+    rf = nl.sIteT(wcond, nl.sWrite(rf, p->dest[i], cdata), rf);
+  }
+  nl.setNext(p->regFile, rf);
+
+  // ---- PC update --------------------------------------------------------------
+  {
+    SignalId pcNext = p->pc;
+    for (unsigned j = 0; j < k; ++j)
+      pcNext = nl.sIteT(fetchNow[j], pcc[j + 1], pcNext);
+    nl.setNext(p->pc, pcNext);
+  }
+
+  // ---- entry state updates -----------------------------------------------------
+  for (unsigned i = 0; i < n; ++i) {
+    SignalId validNew = p->valid[i];
+    if (i < k) validNew = nl.sAnd(p->valid[i], nl.sNot(retire[i]));
+    nl.setNext(p->valid[i], nl.sIteF(p->flush, p->valid[i], validNew));
+    nl.setNext(p->validResult[i],
+               nl.sIteF(p->flush, p->validResult[i],
+                        nl.sOr(p->validResult[i], execSig[i])));
+    nl.setNext(p->result[i],
+               nl.sIteT(p->flush, p->result[i],
+                        nl.sIteT(execSig[i], aluOut[i], p->result[i])));
+    nl.setNext(p->opcode[i], p->opcode[i]);
+    nl.setNext(p->dest[i], p->dest[i]);
+    nl.setNext(p->src1[i], p->src1[i]);
+    nl.setNext(p->src2[i], p->src2[i]);
+  }
+  for (unsigned j = 0; j < k; ++j) {
+    const unsigned i = n + j;
+    // The Valid bit of a newly fetched instruction is the conjunction of
+    // the Valid signal decoded from the Instruction Memory and fetch_j.
+    const SignalId validNew = nl.sAnd(fetch[j], newValidBit[j]);
+    nl.setNext(p->valid[i], nl.sIteF(p->flush, p->valid[i], validNew));
+    nl.setNext(p->validResult[i],
+               nl.sIteF(p->flush, p->validResult[i], nl.sFalse()));
+    nl.setNext(p->result[i], p->result[i]);
+    nl.setNext(p->opcode[i], nl.sIteT(p->flush, p->opcode[i], newOp[j]));
+    nl.setNext(p->dest[i], nl.sIteT(p->flush, p->dest[i], newDest[j]));
+    nl.setNext(p->src1[i], nl.sIteT(p->flush, p->src1[i], newSrc1[j]));
+    nl.setNext(p->src2[i], nl.sIteT(p->flush, p->src2[i], newSrc2[j]));
+  }
+  for (unsigned i = 0; i < total; ++i)
+    nl.setNext(p->done[i], nl.sOr(p->done[i], fire[i]));
+
+  // ---- record the initial-state variables (for the rewriting engine) ---------
+  for (unsigned i = 0; i < n; ++i) {
+    p->init.valid.push_back(nl.signal(p->valid[i]).fixed);
+    p->init.validResult.push_back(nl.signal(p->validResult[i]).fixed);
+    p->init.opcode.push_back(nl.signal(p->opcode[i]).fixed);
+    p->init.dest.push_back(nl.signal(p->dest[i]).fixed);
+    p->init.src1.push_back(nl.signal(p->src1[i]).fixed);
+    p->init.src2.push_back(nl.signal(p->src2[i]).fixed);
+    p->init.result.push_back(nl.signal(p->result[i]).fixed);
+  }
+  p->init.pc = nl.signal(p->pc).fixed;
+  p->init.regFile = nl.signal(p->regFile).fixed;
+
+  return p;
+}
+
+}  // namespace velev::models

@@ -1,0 +1,112 @@
+// The abstract out-of-order implementation processor of the paper (Sect. 3-4):
+// a reorder buffer of N fully instantiated entries plus k extra entries that
+// accept the up-to-k newly fetched instructions, non-deterministic scheduling
+// (NDFetch_i) and completion (NDExecute_i) controls, fully implemented
+// forwarding/stalling logic, in-order retirement of up to k instructions per
+// cycle, and completion-function flushing (the abstraction function):
+// when `flush` is raised, one computation slice per cycle completes in
+// program order, guided by a Done-bit chain.
+//
+// Every ROB entry carries the paper's fields: Valid, Opcode, Dest, Src1,
+// Src2, ValidResult, Result. Instructions execute out of program order as
+// soon as each operand can be read from the Register File or forwarded from
+// the Result field of the *nearest preceding* matching entry (and that
+// entry's result is available).
+//
+// The builder also supports injecting the paper's Sect. 7.2 bug (wrong
+// forwarding for one operand of a chosen slice) and several other seeded
+// defects used by the tests and the bug-detection benchmark.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/isa.hpp"
+#include "tlsim/netlist.hpp"
+
+namespace velev::models {
+
+struct OoOConfig {
+  unsigned robSize = 4;     // N: fully instantiated entries
+  unsigned issueWidth = 2;  // k: issue width == retire width
+};
+
+enum class BugKind {
+  None,
+  /// Slice `index`: the forwarding chain for operand 1 matches against
+  /// Src2 instead of Src1 (the paper's buggy variant: "bug in the
+  /// forwarding logic for one of the data operands of the 72nd instruction").
+  ForwardingWrongOperand,
+  /// Slice `index`: forwarding ignores ValidResult of the producer, so a
+  /// stale Result can be consumed.
+  ForwardingStaleResult,
+  /// Slice `index` (must be <= issue width): the retire condition omits the
+  /// ValidResult check, retiring instructions whose result is not computed.
+  RetireIgnoresValidResult,
+  /// Slice `index`: execution feeds the wrong term (Dest) as the ALU opcode.
+  AluWrongOpcode,
+  /// Slice `index`: the completion function never writes the Register File.
+  CompletionSkipsWrite,
+};
+
+struct BugSpec {
+  BugKind kind = BugKind::None;
+  unsigned index = 1;  // 1-based slice
+};
+
+/// Initial-state variable nodes of the implementation processor, exposed so
+/// the rewriting-rule engine can identify update addresses/contexts exactly
+/// the way EVC identifies the term variables introduced by TLSim.
+struct RobInitState {
+  std::vector<eufm::Expr> valid;        // Bool vars, size N
+  std::vector<eufm::Expr> validResult;  // Bool vars, size N
+  std::vector<eufm::Expr> opcode;       // term vars, size N
+  std::vector<eufm::Expr> dest;         // term vars, size N
+  std::vector<eufm::Expr> src1;         // term vars, size N
+  std::vector<eufm::Expr> src2;         // term vars, size N
+  std::vector<eufm::Expr> result;       // term vars, size N
+  eufm::Expr pc;                        // term var
+  eufm::Expr regFile;                   // term var (memory state)
+  std::vector<eufm::Expr> ndExecute;    // Bool vars, size N
+  std::vector<eufm::Expr> ndFetch;      // Bool vars, size k
+};
+
+struct OoOProcessor {
+  explicit OoOProcessor(eufm::Context& cx) : netlist(cx) {}
+
+  OoOConfig config;
+  tlsim::Netlist netlist;
+
+  tlsim::SignalId flush = tlsim::kNoSignal;  // input (false = regular cycle)
+  tlsim::SignalId pc = tlsim::kNoSignal;     // latch
+  tlsim::SignalId regFile = tlsim::kNoSignal;
+
+  // Per-entry latches, size N + k (extra entries hold newly fetched
+  // instructions). Done latches guide flushing.
+  std::vector<tlsim::SignalId> valid;
+  std::vector<tlsim::SignalId> validResult;
+  std::vector<tlsim::SignalId> opcode;
+  std::vector<tlsim::SignalId> dest;
+  std::vector<tlsim::SignalId> src1;
+  std::vector<tlsim::SignalId> src2;
+  std::vector<tlsim::SignalId> result;
+  std::vector<tlsim::SignalId> done;
+
+  // Diagnostics / tests.
+  std::vector<tlsim::SignalId> retire;  // size k: in-order retire conditions
+  std::vector<tlsim::SignalId> exec;    // size N: execute-this-cycle signals
+  std::vector<tlsim::SignalId> fetch;   // size k: fetch_i
+
+  RobInitState init;
+
+  /// Cycles needed to flush completely (one slice per cycle).
+  unsigned flushCycles() const { return config.robSize + config.issueWidth; }
+};
+
+/// Build the implementation processor. `bug` injects a seeded defect
+/// (BugKind::None for the correct design). Requires issueWidth <= robSize.
+std::unique_ptr<OoOProcessor> buildOoO(eufm::Context& cx, const Isa& isa,
+                                       const OoOConfig& cfg,
+                                       const BugSpec& bug = {});
+
+}  // namespace velev::models

@@ -1,0 +1,32 @@
+#include "models/spec.hpp"
+
+namespace velev::models {
+
+using eufm::Sort;
+using tlsim::SignalId;
+
+std::unique_ptr<SpecProcessor> buildSpec(eufm::Context& cx, const Isa& isa) {
+  auto p = std::make_unique<SpecProcessor>(cx);
+  tlsim::Netlist& nl = p->netlist;
+
+  p->pc = nl.sLatchFree("SpecPC", Sort::Term);
+  p->regFile = nl.sLatchFree("SpecRegFile", Sort::Term);
+  const SignalId imem = nl.sFixed(isa.imem);
+
+  const SignalId instr = nl.sRead(imem, p->pc);
+  const SignalId valid = nl.sApply(isa.validOf, {instr});
+  const SignalId dest = nl.sApply(isa.destOf, {instr});
+  const SignalId src1 = nl.sApply(isa.src1Of, {instr});
+  const SignalId src2 = nl.sApply(isa.src2Of, {instr});
+  const SignalId op = nl.sApply(isa.opOf, {instr});
+
+  const SignalId result = nl.sApply(
+      isa.alu, {op, nl.sRead(p->regFile, src1), nl.sRead(p->regFile, src2)});
+  nl.setNext(p->regFile,
+             nl.sIteT(valid, nl.sWrite(p->regFile, dest, result),
+                      p->regFile));
+  nl.setNext(p->pc, nl.sApply(isa.nextPc, {p->pc}));
+  return p;
+}
+
+}  // namespace velev::models

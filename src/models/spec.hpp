@@ -1,0 +1,24 @@
+// The non-pipelined specification processor (the ISA): executes exactly one
+// instruction per cycle by fetching from the shared read-only Instruction
+// Memory, incrementing the PC, computing the ALU result, and writing the
+// destination register when the instruction's Valid bit is true.
+#pragma once
+
+#include <memory>
+
+#include "models/isa.hpp"
+#include "tlsim/netlist.hpp"
+
+namespace velev::models {
+
+struct SpecProcessor {
+  explicit SpecProcessor(eufm::Context& cx) : netlist(cx) {}
+
+  tlsim::Netlist netlist;
+  tlsim::SignalId pc = tlsim::kNoSignal;       // latch
+  tlsim::SignalId regFile = tlsim::kNoSignal;  // latch
+};
+
+std::unique_ptr<SpecProcessor> buildSpec(eufm::Context& cx, const Isa& isa);
+
+}  // namespace velev::models

@@ -1,0 +1,107 @@
+#include "prop/cnf.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+namespace velev::prop {
+
+Cnf tseitin(const PropCtx& cx, PLit root, bool negateRoot) {
+  Cnf cnf;
+  cnf.numVars = cx.numVars();
+  if (negateRoot) root = negate(root);
+
+  if (root == kTrue) return cnf;  // no clauses: trivially satisfiable
+  if (root == kFalse) {
+    cnf.addClause({});  // the empty clause: trivially unsatisfiable
+    return cnf;
+  }
+
+  // CNF variable for each AIG node in the cone (inputs keep var index + 1).
+  std::unordered_map<std::uint32_t, std::uint32_t> nodeVar;
+  auto varFor = [&](std::uint32_t node) -> std::uint32_t {
+    if (cx.isVarNode(node)) return cx.varIndex(node) + 1;
+    auto it = nodeVar.find(node);
+    if (it != nodeVar.end()) return it->second;
+    const std::uint32_t v = cnf.newVar();
+    nodeVar.emplace(node, v);
+    return v;
+  };
+  auto litFor = [&](PLit l) -> CnfLit {
+    const CnfLit v = static_cast<CnfLit>(varFor(nodeOf(l)));
+    return isNegated(l) ? -v : v;
+  };
+
+  // Iterative postorder over And nodes.
+  std::vector<std::uint32_t> stack = {nodeOf(root)};
+  std::vector<char> seen;
+  auto visited = [&](std::uint32_t n) -> char& {
+    if (seen.size() <= n) seen.resize(n + 1, 0);
+    return seen[n];
+  };
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (visited(n) || cx.isVarNode(n)) continue;
+    visited(n) = 1;
+    VELEV_CHECK(cx.isAndNode(n));
+    const PLit a = cx.andLeft(n), b = cx.andRight(n);
+    const CnfLit lv = static_cast<CnfLit>(varFor(n));
+    const CnfLit la = litFor(a), lb = litFor(b);
+    // v <-> a & b
+    cnf.addClause({-lv, la});
+    cnf.addClause({-lv, lb});
+    cnf.addClause({lv, -la, -lb});
+    if (!cx.isVarNode(nodeOf(a))) stack.push_back(nodeOf(a));
+    if (!cx.isVarNode(nodeOf(b))) stack.push_back(nodeOf(b));
+  }
+  cnf.addClause({litFor(root)});
+  return cnf;
+}
+
+void writeDimacs(const Cnf& cnf, std::ostream& os) {
+  os << "p cnf " << cnf.numVars << ' ' << cnf.numClauses() << '\n';
+  for (const auto& c : cnf.clauses) {
+    for (CnfLit l : c) os << l << ' ';
+    os << "0\n";
+  }
+}
+
+Cnf parseDimacs(std::istream& is) {
+  Cnf cnf;
+  std::string line;
+  bool sawHeader = false;
+  std::size_t expectedClauses = 0;
+  Clause current;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream hs(line);
+      std::string p, fmt;
+      hs >> p >> fmt >> cnf.numVars >> expectedClauses;
+      VELEV_CHECK_MSG(fmt == "cnf", "unsupported DIMACS format: " << fmt);
+      sawHeader = true;
+      continue;
+    }
+    VELEV_CHECK_MSG(sawHeader, "DIMACS clause before p-line");
+    std::istringstream ls(line);
+    CnfLit lit;
+    while (ls >> lit) {
+      if (lit == 0) {
+        cnf.addClause(std::move(current));
+        current.clear();
+      } else {
+        VELEV_CHECK_MSG(static_cast<std::uint32_t>(std::abs(lit)) <=
+                            cnf.numVars,
+                        "literal exceeds declared variable count");
+        current.push_back(lit);
+      }
+    }
+  }
+  VELEV_CHECK_MSG(current.empty(), "unterminated final clause");
+  return cnf;
+}
+
+}  // namespace velev::prop

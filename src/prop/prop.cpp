@@ -1,0 +1,100 @@
+#include "prop/prop.hpp"
+
+#include <algorithm>
+
+#include "support/hash.hpp"
+
+namespace velev::prop {
+
+PropCtx::PropCtx() {
+  nodes_.push_back(Node{});  // node 0: constant FALSE
+  table_.assign(1024, 0);    // 0 marks an empty slot (node 0 is never interned)
+}
+
+PLit PropCtx::mkVar() {
+  Node n;
+  n.var = true;
+  n.a = numVars_++;
+  nodes_.push_back(n);
+  return static_cast<PLit>((nodes_.size() - 1) << 1);
+}
+
+PLit PropCtx::mkAnd(PLit a, PLit b) {
+  if (a == kFalse || b == kFalse) return kFalse;
+  if (a == kTrue) return b;
+  if (b == kTrue) return a;
+  if (a == b) return a;
+  if (a == negate(b)) return kFalse;
+  if (a > b) std::swap(a, b);
+  return static_cast<PLit>(internAnd(a, b) << 1);
+}
+
+void PropCtx::growTable() {
+  std::vector<std::uint32_t> old = std::move(table_);
+  table_.assign(old.size() * 2, 0);
+  const std::uint64_t mask = table_.size() - 1;
+  for (std::uint32_t node : old) {
+    if (node == 0) continue;
+    std::uint64_t slot = hashValues({nodes_[node].a, nodes_[node].b}) & mask;
+    while (table_[slot] != 0) slot = (slot + 1) & mask;
+    table_[slot] = node;
+  }
+}
+
+std::uint32_t PropCtx::internAnd(PLit a, PLit b) {
+  if (tableCount_ * 10 >= table_.size() * 7) growTable();
+  const std::uint64_t mask = table_.size() - 1;
+  std::uint64_t slot = hashValues({a, b}) & mask;
+  while (table_[slot] != 0) {
+    const Node& n = nodes_[table_[slot]];
+    if (!n.var && n.a == a && n.b == b) return table_[slot];
+    slot = (slot + 1) & mask;
+  }
+  Node n;
+  n.var = false;
+  n.a = a;
+  n.b = b;
+  nodes_.push_back(n);
+  const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size() - 1);
+  table_[slot] = id;
+  ++tableCount_;
+  return id;
+}
+
+bool PropCtx::eval(PLit root, const std::vector<bool>& assignment) const {
+  // Iterative evaluation over the cone of `root`, memoized per node.
+  // 0 = unknown, 1 = false, 2 = true.
+  std::vector<std::uint8_t> val(nodes_.size(), 0);
+  val[0] = 1;
+  std::vector<std::uint32_t> stack = {nodeOf(root)};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    if (val[n]) {
+      stack.pop_back();
+      continue;
+    }
+    const Node& nd = nodes_[n];
+    if (nd.var) {
+      VELEV_CHECK(nd.a < assignment.size());
+      val[n] = assignment[nd.a] ? 2 : 1;
+      stack.pop_back();
+      continue;
+    }
+    const std::uint32_t la = nodeOf(nd.a), lb = nodeOf(nd.b);
+    if (!val[la]) {
+      stack.push_back(la);
+      continue;
+    }
+    if (!val[lb]) {
+      stack.push_back(lb);
+      continue;
+    }
+    const bool va = (val[la] == 2) != isNegated(nd.a);
+    const bool vb = (val[lb] == 2) != isNegated(nd.b);
+    val[n] = (va && vb) ? 2 : 1;
+    stack.pop_back();
+  }
+  return (val[nodeOf(root)] == 2) != isNegated(root);
+}
+
+}  // namespace velev::prop

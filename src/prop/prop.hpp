@@ -1,0 +1,95 @@
+// Propositional formula layer: a hash-consed AND-inverter graph (AIG) with
+// complement edges. EVC translates EUFM correctness formulas into this
+// representation; Tseitin translation (cnf.hpp) then produces the CNF that
+// the SAT solver checks, mirroring the EVC -> CNF -> Chaff flow of the paper.
+//
+// A PLit packs (node index << 1) | negated, so negation is free and
+// structural sharing is maximal. Node 0 is the constant FALSE, hence
+// PLit 0 = false and PLit 1 = true.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace velev::prop {
+
+using PLit = std::uint32_t;
+
+constexpr PLit kFalse = 0;
+constexpr PLit kTrue = 1;
+
+constexpr PLit negate(PLit l) { return l ^ 1u; }
+constexpr std::uint32_t nodeOf(PLit l) { return l >> 1; }
+constexpr bool isNegated(PLit l) { return (l & 1u) != 0; }
+
+class PropCtx {
+ public:
+  PropCtx();
+  PropCtx(const PropCtx&) = delete;
+  PropCtx& operator=(const PropCtx&) = delete;
+
+  /// Allocate a fresh input variable; returns its positive literal.
+  PLit mkVar();
+
+  PLit mkNot(PLit a) const { return negate(a); }
+  PLit mkAnd(PLit a, PLit b);
+  PLit mkOr(PLit a, PLit b) { return negate(mkAnd(negate(a), negate(b))); }
+  PLit mkImplies(PLit a, PLit b) { return mkOr(negate(a), b); }
+  PLit mkIte(PLit c, PLit t, PLit e) {
+    return mkAnd(mkOr(negate(c), t), mkOr(c, e));
+  }
+  PLit mkIff(PLit a, PLit b) { return mkIte(a, b, negate(b)); }
+  PLit mkXor(PLit a, PLit b) { return negate(mkIff(a, b)); }
+
+  PLit mkAndN(std::span<const PLit> ls) {
+    PLit acc = kTrue;
+    for (PLit l : ls) acc = mkAnd(acc, l);
+    return acc;
+  }
+  PLit mkOrN(std::span<const PLit> ls) {
+    PLit acc = kFalse;
+    for (PLit l : ls) acc = mkOr(acc, l);
+    return acc;
+  }
+
+  // ---- Introspection -------------------------------------------------------
+  std::uint32_t numNodes() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  std::uint32_t numVars() const { return numVars_; }
+  bool isVarNode(std::uint32_t node) const { return nodes_[node].var; }
+  /// Input-variable index of a var node (dense, 0-based).
+  std::uint32_t varIndex(std::uint32_t node) const {
+    VELEV_CHECK(nodes_[node].var);
+    return nodes_[node].a;
+  }
+  bool isAndNode(std::uint32_t node) const {
+    return node != 0 && !nodes_[node].var;
+  }
+  PLit andLeft(std::uint32_t node) const { return nodes_[node].a; }
+  PLit andRight(std::uint32_t node) const { return nodes_[node].b; }
+
+  /// Evaluate under a full assignment to input variables (indexed by
+  /// varIndex). Used by brute-force cross-checks in the tests.
+  bool eval(PLit root, const std::vector<bool>& assignment) const;
+
+ private:
+  struct Node {
+    bool var = false;
+    PLit a = 0;  // var: input index; and: left literal
+    PLit b = 0;  // and: right literal
+  };
+
+  std::uint32_t internAnd(PLit a, PLit b);
+  void growTable();
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> table_;  // open addressing over And nodes
+  std::size_t tableCount_ = 0;
+  std::uint32_t numVars_ = 0;
+};
+
+}  // namespace velev::prop

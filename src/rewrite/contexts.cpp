@@ -1,0 +1,60 @@
+#include "rewrite/contexts.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace velev::rewrite {
+
+using eufm::Context;
+using eufm::Expr;
+using eufm::Kind;
+
+std::vector<Expr> conjuncts(const Context& cx, Expr f) {
+  std::vector<Expr> out;
+  std::vector<Expr> stack = {f};
+  while (!stack.empty()) {
+    const Expr e = stack.back();
+    stack.pop_back();
+    if (cx.kind(e) == Kind::And) {
+      stack.push_back(cx.arg(e, 0));
+      stack.push_back(cx.arg(e, 1));
+    } else {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+bool impliesSyntactic(const Context& cx, Expr strong, Expr weak) {
+  const auto strongSet = conjuncts(cx, strong);
+  std::unordered_set<Expr> have(strongSet.begin(), strongSet.end());
+  for (Expr w : conjuncts(cx, weak))
+    if (!have.count(w)) return false;
+  return true;
+}
+
+bool disjointContexts(const Context& cx, Expr c1, Expr c2) {
+  const auto s1 = conjuncts(cx, c1);
+  const auto s2 = conjuncts(cx, c2);
+  const std::unordered_set<Expr> set1(s1.begin(), s1.end());
+  const std::unordered_set<Expr> set2(s2.begin(), s2.end());
+  // Direct opposite literal.
+  for (Expr a : s1) {
+    if (cx.kind(a) == Kind::Not && set2.count(cx.arg(a, 0))) return true;
+  }
+  for (Expr b : s2) {
+    if (cx.kind(b) == Kind::Not && set1.count(cx.arg(b, 0))) return true;
+  }
+  // ¬X on one side while the other side's conjuncts include all of X's.
+  for (Expr a : s1) {
+    if (cx.kind(a) == Kind::Not && impliesSyntactic(cx, c2, cx.arg(a, 0)))
+      return true;
+  }
+  for (Expr b : s2) {
+    if (cx.kind(b) == Kind::Not && impliesSyntactic(cx, c1, cx.arg(b, 0)))
+      return true;
+  }
+  return false;
+}
+
+}  // namespace velev::rewrite

@@ -1,0 +1,31 @@
+// Conjunction flattening and syntactic context analysis.
+//
+// Update reordering (Sect. 6) is justified when two update contexts cannot
+// be true simultaneously. The paper's observation: with in-order
+// retirement, a retire context Valid_j ∧ retire_j and a completion context
+// Valid_i ∧ ¬retire_i (i <= j) are conjunctions containing retire_i in
+// opposite polarities. The checks here are purely syntactic (and therefore
+// sound): c1 and c2 are disjoint if some conjunct of one is the negation of
+// a formula implied (by conjunct-set inclusion) by the other.
+#pragma once
+
+#include <vector>
+
+#include "eufm/expr.hpp"
+
+namespace velev::rewrite {
+
+/// Flatten nested ANDs into the set of non-AND conjuncts.
+std::vector<eufm::Expr> conjuncts(const eufm::Context& cx, eufm::Expr f);
+
+/// Sound syntactic implication: every conjunct of `weak` is a conjunct of
+/// `strong` (after flattening both).
+bool impliesSyntactic(const eufm::Context& cx, eufm::Expr strong,
+                      eufm::Expr weak);
+
+/// Sound syntactic disjointness: c1 ∧ c2 is unsatisfiable because some
+/// conjunct ¬X of one side satisfies "other side implies X" (or a literal
+/// appears in both polarities).
+bool disjointContexts(const eufm::Context& cx, eufm::Expr c1, eufm::Expr c2);
+
+}  // namespace velev::rewrite

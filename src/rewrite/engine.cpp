@@ -1,0 +1,324 @@
+#include "rewrite/engine.hpp"
+
+#include <sstream>
+
+#include "rewrite/contexts.hpp"
+#include "rewrite/subst.hpp"
+#include "rewrite/update_chain.hpp"
+
+namespace velev::rewrite {
+
+using eufm::Context;
+using eufm::Expr;
+using eufm::Kind;
+using eufm::kNoExpr;
+
+namespace {
+
+/// Signals a rule mismatch at a specific slice; converted to a RewriteResult
+/// by the driver (a non-conforming slice is an expected outcome — a
+/// potential bug report — not an internal error).
+struct SliceMismatch {
+  unsigned slice;  // 1-based
+  std::string what;
+};
+
+class Engine {
+ public:
+  Engine(Context& cx, const models::Isa& isa,
+         const models::RobInitState& init, const models::OoOConfig& cfg)
+      : cx_(cx), isa_(isa), init_(init), n_(cfg.robSize),
+        k_(cfg.issueWidth) {}
+
+  RewriteResult run(Expr implRegFile, std::span<const Expr> specRegFile) {
+    RewriteResult res;
+    try {
+      extract(implRegFile, specRegFile);
+      checkContexts();
+      checkMovability();
+      for (unsigned i = 0; i < n_; ++i) checkSliceData(i);
+      rebuild(res, specRegFile.size());
+      res.ok = true;
+      res.updatesRemoved = k_ + 2 * n_;
+    } catch (const SliceMismatch& m) {
+      res.ok = false;
+      res.failedSlice = m.slice;
+      res.message = m.what;
+    }
+    return res;
+  }
+
+ private:
+  [[noreturn]] void fail(unsigned slice0 /*0-based*/, const std::string& what) {
+    throw SliceMismatch{slice0 + 1, what};
+  }
+
+  // ---- extraction -----------------------------------------------------------
+  void extract(Expr implRegFile, std::span<const Expr> specRegFile) {
+    VELEV_CHECK(specRegFile.size() == k_ + 1);
+    impl_ = extractChain(cx_, implRegFile);
+    if (impl_.base != init_.regFile)
+      fail(0, "implementation update chain does not reach the initial "
+              "Register File state");
+    if (impl_.updates.size() != k_ + n_ + k_)
+      fail(0, "unexpected number of implementation updates: got " +
+                  std::to_string(impl_.updates.size()) + ", expected " +
+                  std::to_string(k_ + n_ + k_));
+    spec0_ = extractChainTo(cx_, specRegFile[0], init_.regFile);
+    if (spec0_.updates.size() != n_)
+      fail(0, "unexpected number of specification-side updates: got " +
+                  std::to_string(spec0_.updates.size()) + ", expected " +
+                  std::to_string(n_));
+    // Specification steps m = 1..k extend specRegFile[0] one update at a
+    // time.
+    specSteps_.clear();
+    for (unsigned m = 1; m <= k_; ++m) {
+      UpdateChain c = extractChainTo(cx_, specRegFile[m], specRegFile[m - 1]);
+      if (c.updates.size() != 1)
+        fail(0, "specification step " + std::to_string(m) +
+                    " is not a single update");
+      specSteps_.push_back(c.updates[0]);
+    }
+  }
+
+  const Update& retireUpd(unsigned i) const { return impl_.updates[i]; }
+  const Update& flushUpd(unsigned i) const { return impl_.updates[k_ + i]; }
+  const Update& newUpd(unsigned j) const {
+    return impl_.updates[k_ + n_ + j];
+  }
+  const Update& specUpd(unsigned i) const { return spec0_.updates[i]; }
+
+  // ---- rule: context structure ----------------------------------------------
+  // Splits And(Valid_i, X) -> X, where Valid_i is the known variable.
+  Expr splitValid(unsigned i, Expr ctx, const char* which) {
+    if (cx_.kind(ctx) != Kind::And)
+      fail(i, std::string(which) + " context is not a conjunction");
+    const Expr a = cx_.arg(ctx, 0), b = cx_.arg(ctx, 1);
+    if (a == init_.valid[i]) return b;
+    if (b == init_.valid[i]) return a;
+    fail(i, std::string(which) + " context does not include Valid_i");
+  }
+
+  void checkContexts() {
+    retireCond_.assign(k_, kNoExpr);
+    for (unsigned i = 0; i < k_; ++i) {
+      const Update& r = retireUpd(i);
+      if (r.addr != init_.dest[i])
+        fail(i, "retire update address is not Dest_i");
+      if (r.data != init_.result[i])
+        fail(i, "retire update data is not Result_i");
+      retireCond_[i] = splitValid(i, r.ctx, "retire");
+    }
+    for (unsigned i = 0; i < n_; ++i) {
+      const Update& f = flushUpd(i);
+      if (f.addr != init_.dest[i])
+        fail(i, "completion update address is not Dest_i");
+      if (i < k_) {
+        const Expr notRetire = splitValid(i, f.ctx, "completion");
+        if (notRetire != cx_.mkNot(retireCond_[i]))
+          fail(i, "completion context is not Valid_i & !retire_i");
+      } else {
+        if (f.ctx != init_.valid[i])
+          fail(i, "completion context is not Valid_i");
+      }
+      const Update& s = specUpd(i);
+      if (s.addr != init_.dest[i])
+        fail(i, "specification update address is not Dest_i");
+      if (s.ctx != init_.valid[i])
+        fail(i, "specification update context is not Valid_i");
+    }
+  }
+
+  // ---- rule: movability -------------------------------------------------------
+  // The completion update of instruction i (i < k) is moved down past the
+  // retire updates of later instructions; every crossed pair must have
+  // syntactically disjoint contexts.
+  void checkMovability() {
+    for (unsigned i = 0; i < k_; ++i) {
+      for (unsigned j = i + 1; j < k_; ++j) {
+        if (!disjointContexts(cx_, flushUpd(i).ctx, retireUpd(j).ctx))
+          fail(i, "cannot move completion update of slice " +
+                      std::to_string(i + 1) + " past retire update of slice " +
+                      std::to_string(j + 1) +
+                      ": contexts are not provably disjoint");
+      }
+    }
+  }
+
+  // ---- rule: data equality per slice -----------------------------------------
+  void checkSliceData(unsigned i) {
+    // Merge the retire/completion updates (within the retire width) into a
+    // single update under Valid_i with data ITE(retire_i, Result_i, ...).
+    const Expr implData =
+        i < k_ ? cx_.mkIteT(retireCond_[i], init_.result[i], flushUpd(i).data)
+               : flushUpd(i).data;
+    const Expr specData = specUpd(i).data;
+
+    // Case 1: ValidResult_i = true — both sides must collapse to Result_i.
+    {
+      BoolAssumptions vr1{{init_.valid[i], true}, {init_.validResult[i], true}};
+      const Expr di = substituteShallow(cx_, implData, vr1);
+      if (di != init_.result[i])
+        fail(i, "implementation data does not collapse to Result_i when "
+                "ValidResult_i holds");
+      const Expr ds = substituteShallow(cx_, specData, vr1);
+      if (ds != init_.result[i])
+        fail(i, "specification data does not collapse to Result_i when "
+                "ValidResult_i holds");
+    }
+
+    // Case 2: ValidResult_i = false.
+    BoolAssumptions vr0{{init_.valid[i], true}, {init_.validResult[i], false}};
+    const Expr di = substituteShallow(cx_, implData, vr0);
+    const Expr ds = substituteShallow(cx_, specData, vr0);
+
+    const Expr pPrefix = flushUpd(i).prev;               // P_i
+    const Expr qPrefix = specUpd(i).prev;                // Q_i
+    // Specification side: ALU(Op_i, read(Q_i, Src1_i), read(Q_i, Src2_i)).
+    if (ds != aluRead(i, qPrefix))
+      fail(i, "specification data is not the expected ALU application over "
+              "reads from the specification prefix state");
+
+    // Implementation side: either the pure completion computation, or an
+    // ITE between the regular-cycle execution and the completion.
+    if (di == aluRead(i, pPrefix)) return;  // rule 2.2 alone
+    if (cx_.kind(di) != Kind::IteT)
+      fail(i, "implementation data (ValidResult_i = false) has an "
+              "unexpected shape");
+    const Expr execCond = cx_.arg(di, 0);
+    const Expr execData = cx_.arg(di, 1);
+    const Expr flushData = cx_.arg(di, 2);
+    if (flushData != aluRead(i, pPrefix))
+      fail(i, "completion branch is not the expected ALU application over "
+              "reads from the implementation prefix state (rule 2.2)");
+    checkExecBranch(i, execCond, execData);
+  }
+
+  /// ALU(Op_i, read(state, Src1_i), read(state, Src2_i)).
+  Expr aluRead(unsigned i, Expr state) {
+    return cx_.apply(isa_.alu,
+                     {init_.opcode[i], cx_.mkRead(state, init_.src1[i]),
+                      cx_.mkRead(state, init_.src2[i])});
+  }
+
+  // Rule 2.1: the instruction executed during the single regular cycle; its
+  // forwarded operands must match the specification-side reads whenever the
+  // dependencies_ok conditions (conjuncts of the execute condition) hold.
+  void checkExecBranch(unsigned i, Expr execCond, Expr execData) {
+    if (cx_.kind(execData) != Kind::Uf ||
+        cx_.funcOf(execData) != isa_.alu ||
+        cx_.arg(execData, 0) != init_.opcode[i])
+      fail(i, "regular-cycle execution result is not an ALU application "
+              "on Opcode_i");
+    const auto conj = conjuncts(cx_, execCond);
+    for (unsigned o = 0; o < 2; ++o) {
+      const Expr src = o == 0 ? init_.src1[i] : init_.src2[i];
+      const Expr fwd = cx_.arg(execData, o + 1);
+      if (!operandJustified(i, fwd, src, conj))
+        fail(i, "forwarded operand " + std::to_string(o + 1) +
+                    " cannot be matched against the specification-side "
+                    "read (rule 2.1)");
+    }
+  }
+
+  // Does some conjunct of the execute condition justify fwd == read(Q_i,
+  // src)? The base case (no preceding writer consulted) needs no condition.
+  bool operandJustified(unsigned i, Expr fwd, Expr src,
+                        const std::vector<Expr>& conj) {
+    if (matchForwarding(i, fwd, kNoExpr, src)) return true;
+    for (Expr c : conj)
+      if (matchForwarding(i, fwd, c, src)) return true;
+    return false;
+  }
+
+  // Match the forwarding chain for slice i against the specification update
+  // chain, level by level from the nearest preceding entry (j = i-1) down to
+  // the initial Register File. At each level:
+  //   fwd = ITE(hit_j, Result_j, rest),    hit_j = Valid_j & (Dest_j = src)
+  //   ok  = ITE(hit_j, ValidResult_j, okRest)   (or the folded Or-form when
+  //                                              okRest is TRUE)
+  // and the specification data written at level j must collapse to Result_j
+  // under ValidResult_j — which `ok` guarantees exactly when the forwarding
+  // selects level j. `ok == kNoExpr` requires the chain to be hit-free.
+  bool matchForwarding(unsigned i, Expr fwd, Expr ok, Expr src) {
+    for (unsigned level = i; level-- > 0;) {
+      const Expr hit =
+          cx_.mkAnd(init_.valid[level], cx_.mkEq(init_.dest[level], src));
+      if (cx_.kind(fwd) != Kind::IteT || cx_.arg(fwd, 0) != hit ||
+          cx_.arg(fwd, 1) != init_.result[level])
+        return false;
+      fwd = cx_.arg(fwd, 2);
+      // Peel the availability chain.
+      if (ok == kNoExpr) return false;
+      if (cx_.kind(ok) == Kind::IteF && cx_.arg(ok, 0) == hit &&
+          cx_.arg(ok, 1) == init_.validResult[level]) {
+        ok = cx_.arg(ok, 2);
+      } else if (ok == cx_.mkOr(cx_.mkNot(hit), init_.validResult[level])) {
+        ok = cx_.mkTrue();  // folded innermost level: ITE(hit, VR, true)
+      } else {
+        return false;
+      }
+      // The specification write at this level must provide Result_level
+      // when its result was available.
+      BoolAssumptions vr1{{init_.validResult[level], true}};
+      if (substituteShallow(cx_, specUpd(level).data, vr1) !=
+          init_.result[level])
+        return false;
+    }
+    return fwd == cx_.mkRead(init_.regFile, src) &&
+           (ok == kNoExpr || ok == cx_.mkTrue());
+  }
+
+  // ---- removal and reconstruction (Fig. 2.b) ----------------------------------
+  void rebuild(RewriteResult& res, std::size_t numSpec) {
+    res.equalStateVar = cx_.freshTermVar("RegFile_equal_state");
+
+    // Implementation side: the k updates of the newly fetched instructions,
+    // re-based onto the common equal state.
+    Expr cur = res.equalStateVar;
+    for (unsigned j = 0; j < k_; ++j) {
+      const Update& u = newUpd(j);
+      const Expr data = substituteMem(cx_, u.data, u.prev, cur);
+      const Expr ctx = substituteMem(cx_, u.ctx, u.prev, cur);
+      cur = cx_.mkIteT(ctx, cx_.mkWrite(cur, u.addr, data), cur);
+    }
+    res.implRegFile = cur;
+
+    // Specification side: m = 0 is the equal state itself; each further
+    // step re-bases one specification update.
+    res.specRegFile.assign(numSpec, kNoExpr);
+    res.specRegFile[0] = res.equalStateVar;
+    cur = res.equalStateVar;
+    for (unsigned m = 1; m < numSpec; ++m) {
+      const Update& u = specSteps_[m - 1];
+      const Expr data = substituteMem(cx_, u.data, u.prev, cur);
+      const Expr ctx = substituteMem(cx_, u.ctx, u.prev, cur);
+      cur = cx_.mkIteT(ctx, cx_.mkWrite(cur, u.addr, data), cur);
+      res.specRegFile[m] = cur;
+    }
+  }
+
+  Context& cx_;
+  const models::Isa& isa_;
+  const models::RobInitState& init_;
+  const unsigned n_;
+  const unsigned k_;
+
+  UpdateChain impl_;
+  UpdateChain spec0_;
+  std::vector<Update> specSteps_;
+  std::vector<Expr> retireCond_;  // retire_i, split out of the contexts
+};
+
+}  // namespace
+
+RewriteResult rewriteRobUpdates(Context& cx, const models::Isa& isa,
+                                const models::RobInitState& init,
+                                const models::OoOConfig& cfg,
+                                Expr implRegFile,
+                                std::span<const Expr> specRegFile) {
+  Engine engine(cx, isa, init, cfg);
+  return engine.run(implRegFile, specRegFile);
+}
+
+}  // namespace velev::rewrite

@@ -1,0 +1,38 @@
+// Guarded substitution utilities for the rewriting rules.
+//
+// `substituteShallow` replaces Boolean variables by constants (the
+// ValidResult case split of Sect. 6) and rebuilds through the smart
+// constructors, so guarded structure collapses (e.g. an execute condition
+// containing ¬ValidResult_i folds to false when ValidResult_i := true).
+// Crucially it does NOT descend into the memory argument of `read`: the
+// prefix Register File states referenced by completion-function reads are
+// handled by the prefix-correspondence argument, not by substitution — and
+// leaving them untouched keeps the per-slice cost proportional to the slice,
+// not to the whole formula.
+//
+// `substituteMem` replaces one specific memory-state subterm (a proven-equal
+// prefix) by a fresh variable, again without descending into deeper read
+// bases.
+#pragma once
+
+#include <unordered_map>
+
+#include "eufm/expr.hpp"
+
+namespace velev::rewrite {
+
+/// Assumptions for the case split: Boolean variable -> constant value.
+using BoolAssumptions = std::unordered_map<eufm::Expr, bool>;
+
+/// Rebuild `e` under `assume`, folding constants; read/write memory
+/// arguments are kept verbatim.
+eufm::Expr substituteShallow(eufm::Context& cx, eufm::Expr e,
+                             const BoolAssumptions& assume);
+
+/// Rebuild `e` with every occurrence of memory state `from` replaced by
+/// `to`; traversal does not descend below `from` and treats read/write
+/// memory arguments other than `from` verbatim.
+eufm::Expr substituteMem(eufm::Context& cx, eufm::Expr e, eufm::Expr from,
+                         eufm::Expr to);
+
+}  // namespace velev::rewrite

@@ -1,0 +1,61 @@
+#include "rewrite/update_chain.hpp"
+
+#include <algorithm>
+
+namespace velev::rewrite {
+
+using eufm::Context;
+using eufm::Expr;
+using eufm::Kind;
+
+bool matchUpdate(const Context& cx, Expr e, Update& out) {
+  if (cx.kind(e) != Kind::IteT) return false;
+  const Expr w = cx.arg(e, 1);
+  const Expr prev = cx.arg(e, 2);
+  if (cx.kind(w) != Kind::Write || cx.arg(w, 0) != prev) return false;
+  out.node = e;
+  out.prev = prev;
+  out.ctx = cx.arg(e, 0);
+  out.addr = cx.arg(w, 1);
+  out.data = cx.arg(w, 2);
+  return true;
+}
+
+UpdateChain extractChain(const Context& cx, Expr root) {
+  UpdateChain chain;
+  chain.root = root;
+  Expr cur = root;
+  Update u;
+  while (matchUpdate(cx, cur, u)) {
+    chain.updates.push_back(u);
+    cur = u.prev;
+  }
+  chain.base = cur;
+  std::reverse(chain.updates.begin(), chain.updates.end());
+  return chain;
+}
+
+UpdateChain extractChainTo(const Context& cx, Expr root, Expr base) {
+  UpdateChain chain;
+  chain.root = root;
+  Expr cur = root;
+  Update u;
+  while (cur != base) {
+    VELEV_CHECK_MSG(matchUpdate(cx, cur, u),
+                    "update chain does not bottom out at the expected base");
+    chain.updates.push_back(u);
+    cur = u.prev;
+  }
+  chain.base = cur;
+  std::reverse(chain.updates.begin(), chain.updates.end());
+  return chain;
+}
+
+Expr rebuildChain(Context& cx, Expr base, std::span<const Update> updates) {
+  Expr cur = base;
+  for (const Update& u : updates)
+    cur = cx.mkIteT(u.ctx, cx.mkWrite(cur, u.addr, u.data), cur);
+  return cur;
+}
+
+}  // namespace velev::rewrite

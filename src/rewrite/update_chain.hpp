@@ -1,0 +1,44 @@
+// Update-chain extraction and reconstruction.
+//
+// TLSim-produced Register File expressions are chains of conditional
+// updates ITE(ctx, write(prev, addr, data), prev) — the triples
+// ⟨context, address, data⟩ of Fig. 2 of the paper. The rewriting rules
+// operate on these chains.
+#pragma once
+
+#include <vector>
+
+#include "eufm/expr.hpp"
+
+namespace velev::rewrite {
+
+struct Update {
+  eufm::Expr node;  // the ITE(ctx, write(prev,a,d), prev) node itself
+  eufm::Expr prev;  // memory state below this update
+  eufm::Expr ctx;   // write condition
+  eufm::Expr addr;
+  eufm::Expr data;
+};
+
+struct UpdateChain {
+  eufm::Expr root = eufm::kNoExpr;
+  eufm::Expr base = eufm::kNoExpr;   // memory state below all updates
+  std::vector<Update> updates;       // bottom-up: oldest (deepest) first
+};
+
+/// Does `e` match ITE(ctx, write(prev, a, d), prev)? Fills `out` if so.
+bool matchUpdate(const eufm::Context& cx, eufm::Expr e, Update& out);
+
+/// Peel updates from `root` until a non-update node (the base) is reached.
+UpdateChain extractChain(const eufm::Context& cx, eufm::Expr root);
+
+/// Peel updates until `base` is reached; throws if `base` is never hit.
+UpdateChain extractChainTo(const eufm::Context& cx, eufm::Expr root,
+                           eufm::Expr base);
+
+/// Rebuild a chain over (possibly different) `base`, preserving the
+/// bottom-up order of `updates`.
+eufm::Expr rebuildChain(eufm::Context& cx, eufm::Expr base,
+                        std::span<const Update> updates);
+
+}  // namespace velev::rewrite

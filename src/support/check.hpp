@@ -1,0 +1,50 @@
+// Lightweight runtime-checked assertions used across the library.
+//
+// VELEV_CHECK is active in all build types: the verification pipeline relies
+// on structural invariants (e.g. that an extracted update chain really has
+// the ITE(ctx, write(prev,a,d), prev) shape), and silently continuing after
+// a violated invariant could turn a sound verifier into an unsound one.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace velev {
+
+/// Thrown when an internal invariant is violated.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace velev
+
+#define VELEV_CHECK(cond)                                            \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::velev::detail::checkFailed(#cond, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define VELEV_CHECK_MSG(cond, msg)                                   \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream velev_os_;                                  \
+      velev_os_ << msg;                                              \
+      ::velev::detail::checkFailed(#cond, __FILE__, __LINE__,        \
+                                   velev_os_.str());                 \
+    }                                                                \
+  } while (0)
+
+#define VELEV_UNREACHABLE(msg)                                       \
+  ::velev::detail::checkFailed("unreachable", __FILE__, __LINE__, msg)

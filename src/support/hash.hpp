@@ -1,0 +1,29 @@
+// Hash utilities: stable 64-bit mixing for hash-consing the expression DAG.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+namespace velev {
+
+/// SplitMix64 finalizer — a cheap, well-distributed 64-bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine a hash with a new value (order-sensitive).
+constexpr std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t v) {
+  return mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// Hash a short fixed sequence of 64-bit values.
+constexpr std::uint64_t hashValues(std::initializer_list<std::uint64_t> vs) {
+  std::uint64_t h = 0x51a2b3c4d5e6f708ULL;
+  for (auto v : vs) h = hashCombine(h, v);
+  return h;
+}
+
+}  // namespace velev

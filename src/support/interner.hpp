@@ -1,0 +1,49 @@
+// String interner: maps names (signal names, variable names, function symbol
+// names) to dense 32-bit ids and back. The expression DAG and the netlist
+// store only ids, keeping nodes small and comparisons O(1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace velev {
+
+class StringInterner {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kInvalid = 0xffffffffu;
+
+  /// Intern `s`, returning its dense id (existing id if already interned).
+  Id intern(std::string_view s) {
+    auto it = map_.find(std::string(s));
+    if (it != map_.end()) return it->second;
+    const Id id = static_cast<Id>(strings_.size());
+    strings_.emplace_back(s);
+    map_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Look up an already-interned string; returns kInvalid if absent.
+  Id find(std::string_view s) const {
+    auto it = map_.find(std::string(s));
+    return it == map_.end() ? kInvalid : it->second;
+  }
+
+  const std::string& str(Id id) const {
+    VELEV_CHECK(id < strings_.size());
+    return strings_[id];
+  }
+
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, Id> map_;
+};
+
+}  // namespace velev

@@ -1,0 +1,61 @@
+// Deterministic pseudo-random generator (xoshiro256**) for property tests,
+// random finite interpretations and the SAT solver's tie-breaking.
+// Determinism matters: every test failure must be reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "support/hash.hpp"
+
+namespace velev {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    // Seed the four lanes via SplitMix64 (the recommended seeding procedure).
+    for (auto& lane : s_) {
+      seed = mix64(seed);
+      lane = seed;
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  bool coin() { return (next() & 1) != 0; }
+
+  /// True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return below(den) < num;
+  }
+
+  double unit() {  // [0,1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace velev

@@ -1,0 +1,28 @@
+// Wall-clock timer used by the benchmark harness to report per-phase times
+// (the paper reports CPU seconds per pipeline stage; we report wall seconds,
+// which on an otherwise idle machine is the same quantity).
+#pragma once
+
+#include <chrono>
+
+namespace velev {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace velev

@@ -1,0 +1,129 @@
+#include "tlsim/netlist.hpp"
+
+namespace velev::tlsim {
+
+using eufm::Sort;
+
+SignalId Netlist::add(Signal s) {
+  for (SignalId a : s.args)
+    VELEV_CHECK_MSG(a < signals_.size(),
+                    "combinational signal references a later signal");
+  signals_.push_back(std::move(s));
+  return static_cast<SignalId>(signals_.size() - 1);
+}
+
+SignalId Netlist::sFixed(eufm::Expr e) {
+  Signal s;
+  s.op = Op::Fixed;
+  s.sort = cx_.sort(e);
+  s.fixed = e;
+  return add(std::move(s));
+}
+
+SignalId Netlist::sInput(std::string name, Sort sort) {
+  Signal s;
+  s.op = Op::Input;
+  s.sort = sort;
+  s.name = std::move(name);
+  return add(std::move(s));
+}
+
+SignalId Netlist::sLatch(std::string name, Sort sort, eufm::Expr init) {
+  VELEV_CHECK(cx_.sort(init) == sort);
+  Signal s;
+  s.op = Op::Latch;
+  s.sort = sort;
+  s.fixed = init;
+  s.name = std::move(name);
+  const SignalId id = add(std::move(s));
+  latches_.push_back(id);
+  return id;
+}
+
+SignalId Netlist::sLatchFree(std::string name, Sort sort) {
+  const std::string initName = name + "_0";
+  const eufm::Expr init = sort == Sort::Formula ? cx_.boolVar(initName)
+                                                : cx_.termVar(initName);
+  return sLatch(std::move(name), sort, init);
+}
+
+void Netlist::setNext(SignalId latch, SignalId next) {
+  VELEV_CHECK(signals_[latch].op == Op::Latch);
+  VELEV_CHECK_MSG(signals_[latch].next == kNoSignal,
+                  "latch " << signals_[latch].name << " driven twice");
+  VELEV_CHECK(signals_[next].sort == signals_[latch].sort);
+  signals_[latch].next = next;
+}
+
+namespace {
+Signal comb(Op op, Sort sort, std::initializer_list<SignalId> args) {
+  Signal s;
+  s.op = op;
+  s.sort = sort;
+  s.args.assign(args.begin(), args.end());
+  return s;
+}
+}  // namespace
+
+SignalId Netlist::sNot(SignalId a) {
+  VELEV_CHECK(sortOf(a) == Sort::Formula);
+  return add(comb(Op::Not, Sort::Formula, {a}));
+}
+
+SignalId Netlist::sAnd(SignalId a, SignalId b) {
+  VELEV_CHECK(sortOf(a) == Sort::Formula && sortOf(b) == Sort::Formula);
+  return add(comb(Op::And, Sort::Formula, {a, b}));
+}
+
+SignalId Netlist::sOr(SignalId a, SignalId b) {
+  VELEV_CHECK(sortOf(a) == Sort::Formula && sortOf(b) == Sort::Formula);
+  return add(comb(Op::Or, Sort::Formula, {a, b}));
+}
+
+SignalId Netlist::sIteF(SignalId c, SignalId t, SignalId e) {
+  VELEV_CHECK(sortOf(c) == Sort::Formula && sortOf(t) == Sort::Formula &&
+              sortOf(e) == Sort::Formula);
+  return add(comb(Op::IteF, Sort::Formula, {c, t, e}));
+}
+
+SignalId Netlist::sEq(SignalId a, SignalId b) {
+  VELEV_CHECK(sortOf(a) == Sort::Term && sortOf(b) == Sort::Term);
+  return add(comb(Op::Eq, Sort::Formula, {a, b}));
+}
+
+SignalId Netlist::sIteT(SignalId c, SignalId t, SignalId e) {
+  VELEV_CHECK(sortOf(c) == Sort::Formula && sortOf(t) == Sort::Term &&
+              sortOf(e) == Sort::Term);
+  return add(comb(Op::IteT, Sort::Term, {c, t, e}));
+}
+
+SignalId Netlist::sRead(SignalId mem, SignalId addr) {
+  VELEV_CHECK(sortOf(mem) == Sort::Term && sortOf(addr) == Sort::Term);
+  return add(comb(Op::Read, Sort::Term, {mem, addr}));
+}
+
+SignalId Netlist::sWrite(SignalId mem, SignalId addr, SignalId data) {
+  VELEV_CHECK(sortOf(mem) == Sort::Term && sortOf(addr) == Sort::Term &&
+              sortOf(data) == Sort::Term);
+  return add(comb(Op::Write, Sort::Term, {mem, addr, data}));
+}
+
+SignalId Netlist::sApply(eufm::FuncId f, std::span<const SignalId> args) {
+  const eufm::FuncInfo& fi = cx_.func(f);
+  VELEV_CHECK(fi.arity == args.size());
+  for (SignalId a : args) VELEV_CHECK(sortOf(a) == Sort::Term);
+  Signal s;
+  s.op = Op::Apply;
+  s.sort = fi.isPredicate ? Sort::Formula : Sort::Term;
+  s.func = f;
+  s.args.assign(args.begin(), args.end());
+  return add(std::move(s));
+}
+
+void Netlist::checkComplete() const {
+  for (SignalId l : latches_)
+    VELEV_CHECK_MSG(signals_[l].next != kNoSignal,
+                    "latch " << signals_[l].name << " has no next-state driver");
+}
+
+}  // namespace velev::tlsim

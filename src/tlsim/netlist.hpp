@@ -1,0 +1,109 @@
+// Term-level netlist: the hardware-description layer of the TLSim analogue.
+//
+// A netlist is a DAG of signals over the two EUFM sorts. State elements are
+// latches (formula- or term-sorted; a memory is just a term-sorted latch
+// holding a memory-state term). Combinational signals mirror the EUFM
+// operators. Signal ids are assigned in creation order, so they are already
+// topologically sorted: a combinational signal may only reference
+// previously created signals (latches may reference any signal through
+// `setNext`, closing the sequential loop).
+//
+// This restricted description style is exactly the one advocated in the
+// Velev/Bryant flow (CHARME'99): high-level processor models built from
+// latches, memories, ITE-multiplexers, equality comparators and
+// uninterpreted functional blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eufm/expr.hpp"
+
+namespace velev::tlsim {
+
+using SignalId = std::uint32_t;
+constexpr SignalId kNoSignal = 0xffffffffu;
+
+enum class Op : std::uint8_t {
+  Fixed,   // a fixed EUFM expression (constants, shared symbolic state)
+  Input,   // an expression settable by the test bench between cycles
+  Latch,   // state element; value = current state, next driven via setNext
+  Not,
+  And,
+  Or,
+  IteF,
+  Eq,
+  IteT,
+  Read,
+  Write,
+  Apply,   // uninterpreted function / predicate application
+};
+
+struct Signal {
+  Op op;
+  eufm::Sort sort;
+  eufm::FuncId func = 0;            // Apply only
+  std::vector<SignalId> args;       // combinational fan-in
+  eufm::Expr fixed = eufm::kNoExpr; // Fixed: the expression; Latch: init state
+  SignalId next = kNoSignal;        // Latch only
+  std::string name;                 // latches & inputs (diagnostics)
+};
+
+class Netlist {
+ public:
+  explicit Netlist(eufm::Context& cx) : cx_(cx) {}
+  Netlist(const Netlist&) = delete;
+  Netlist& operator=(const Netlist&) = delete;
+
+  eufm::Context& ctx() const { return cx_; }
+
+  // ---- sources -------------------------------------------------------------
+  SignalId sFixed(eufm::Expr e);
+  SignalId sTrue() { return sFixed(cx_.mkTrue()); }
+  SignalId sFalse() { return sFixed(cx_.mkFalse()); }
+  SignalId sInput(std::string name, eufm::Sort sort);
+  /// Latch with explicit initial-state expression.
+  SignalId sLatch(std::string name, eufm::Sort sort, eufm::Expr init);
+  /// Latch whose initial state is a variable named after the latch
+  /// ("<name>_0") — the usual way of leaving initial state symbolic.
+  SignalId sLatchFree(std::string name, eufm::Sort sort);
+
+  /// Drive the next-state input of `latch` (must be called exactly once per
+  /// latch before simulation).
+  void setNext(SignalId latch, SignalId next);
+
+  // ---- combinational -------------------------------------------------------
+  SignalId sNot(SignalId a);
+  SignalId sAnd(SignalId a, SignalId b);
+  SignalId sOr(SignalId a, SignalId b);
+  SignalId sIteF(SignalId c, SignalId t, SignalId e);
+  SignalId sEq(SignalId a, SignalId b);
+  SignalId sIteT(SignalId c, SignalId t, SignalId e);
+  SignalId sRead(SignalId mem, SignalId addr);
+  SignalId sWrite(SignalId mem, SignalId addr, SignalId data);
+  SignalId sApply(eufm::FuncId f, std::span<const SignalId> args);
+  SignalId sApply(eufm::FuncId f, std::initializer_list<SignalId> args) {
+    return sApply(f, std::span<const SignalId>(args.begin(), args.size()));
+  }
+
+  // ---- introspection ---------------------------------------------------------
+  const Signal& signal(SignalId s) const {
+    VELEV_CHECK(s < signals_.size());
+    return signals_[s];
+  }
+  std::size_t numSignals() const { return signals_.size(); }
+  const std::vector<SignalId>& latches() const { return latches_; }
+  eufm::Sort sortOf(SignalId s) const { return signal(s).sort; }
+
+  /// Verify every latch has a next-state driver; throws otherwise.
+  void checkComplete() const;
+
+ private:
+  SignalId add(Signal s);
+  eufm::Context& cx_;
+  std::vector<Signal> signals_;
+  std::vector<SignalId> latches_;
+};
+
+}  // namespace velev::tlsim

@@ -1,0 +1,157 @@
+// End-to-end integration tests of the verifier: both strategies on a grid
+// of correct configurations, all bug kinds caught, verdict semantics, and
+// cross-strategy agreement.
+#include <gtest/gtest.h>
+
+#include "core/verifier.hpp"
+
+namespace velev::core {
+namespace {
+
+struct GridParam {
+  unsigned n, k;
+};
+
+class VerifyGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(VerifyGrid, BothStrategiesProveCorrectDesign) {
+  const auto [n, k] = GetParam();
+  {
+    VerifyOptions opts;
+    opts.strategy = Strategy::RewritingPlusPositiveEquality;
+    const VerifyReport rep = verify({n, k}, {}, opts);
+    EXPECT_EQ(rep.verdict, Verdict::Correct)
+        << rep.rewriteMessage << " slice " << rep.rewriteFailedSlice;
+    // The paper's Table 5 property: no e_ij variables after rewriting.
+    EXPECT_EQ(rep.evcStats.eijVars, 0u);
+    EXPECT_EQ(rep.updatesRemoved, k + 2 * n);
+  }
+  // PE-only blows up steeply (the phenomenon of Table 2); N=4/k=4 already
+  // takes minutes, so the test grid stops at N=3 — the benches cover more.
+  if (n <= 3) {
+    VerifyOptions opts;
+    opts.strategy = Strategy::PositiveEqualityOnly;
+    const VerifyReport rep = verify({n, k}, {}, opts);
+    EXPECT_EQ(rep.verdict, Verdict::Correct);
+    EXPECT_GT(rep.evcStats.eijVars, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, VerifyGrid,
+    ::testing::Values(GridParam{1, 1}, GridParam{2, 1}, GridParam{2, 2},
+                      GridParam{3, 2}, GridParam{3, 3}, GridParam{4, 1},
+                      GridParam{4, 4}, GridParam{8, 2}, GridParam{10, 5},
+                      GridParam{16, 16}, GridParam{24, 3}),
+    [](const auto& info) {
+      return "N" + std::to_string(info.param.n) + "k" +
+             std::to_string(info.param.k);
+    });
+
+struct BugCase {
+  models::BugKind kind;
+  unsigned n, k, index;
+  bool peOnlyFindsCounterexample;  // semantically visible to the criterion?
+};
+
+class VerifyBugs : public ::testing::TestWithParam<BugCase> {};
+
+TEST_P(VerifyBugs, RewritingFlagsBug) {
+  const auto& p = GetParam();
+  VerifyOptions opts;
+  opts.strategy = Strategy::RewritingPlusPositiveEquality;
+  const VerifyReport rep = verify({p.n, p.k}, {p.kind, p.index}, opts);
+  EXPECT_EQ(rep.verdict, Verdict::RewriteMismatch);
+  EXPECT_GE(rep.rewriteFailedSlice, 1u);
+  EXPECT_FALSE(rep.rewriteMessage.empty());
+}
+
+TEST_P(VerifyBugs, PositiveEqualityOnlyVerdict) {
+  const auto& p = GetParam();
+  VerifyOptions opts;
+  opts.strategy = Strategy::PositiveEqualityOnly;
+  const VerifyReport rep = verify({p.n, p.k}, {p.kind, p.index}, opts);
+  if (p.peOnlyFindsCounterexample) {
+    EXPECT_EQ(rep.verdict, Verdict::CounterexampleFound);
+  } else {
+    // A completion-function defect changes the abstraction function on both
+    // sides of the diagram, so the safety criterion still holds.
+    EXPECT_EQ(rep.verdict, Verdict::Correct);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, VerifyBugs,
+    ::testing::Values(
+        BugCase{models::BugKind::ForwardingWrongOperand, 3, 1, 3, true},
+        BugCase{models::BugKind::ForwardingWrongOperand, 4, 2, 2, true},
+        BugCase{models::BugKind::ForwardingStaleResult, 3, 2, 2, true},
+        BugCase{models::BugKind::RetireIgnoresValidResult, 3, 2, 1, true},
+        BugCase{models::BugKind::AluWrongOpcode, 3, 1, 2, true},
+        // Within the retire width the skipped completion write IS a safety
+        // violation (the instruction may retire-write on the implementation
+        // side but never writes on the specification side)...
+        BugCase{models::BugKind::CompletionSkipsWrite, 3, 2, 2, true},
+        // ...outside the retire width it affects the abstraction function
+        // on both sides identically and the criterion still holds.
+        BugCase{models::BugKind::CompletionSkipsWrite, 3, 2, 3, false}),
+    [](const auto& info) {
+      return "kind" + std::to_string(static_cast<int>(info.param.kind)) +
+             "N" + std::to_string(info.param.n) + "k" +
+             std::to_string(info.param.k) + "i" +
+             std::to_string(info.param.index);
+    });
+
+TEST(Verify, ReportTimingsPopulated) {
+  const VerifyReport rep = verify({4, 2});
+  EXPECT_GE(rep.simSeconds, 0.0);
+  EXPECT_GE(rep.totalSeconds(), rep.satSeconds);
+  EXPECT_EQ(rep.satResult, sat::Result::Unsat);
+  EXPECT_GT(rep.evcStats.cnfClauses, 0u);
+  EXPECT_GT(rep.simStats.signalEvals, 0u);
+}
+
+TEST(Verify, ConflictBudgetGivesInconclusive) {
+  // PE-only on a moderately sized design with a 1-conflict budget cannot
+  // complete the proof.
+  VerifyOptions opts;
+  opts.strategy = Strategy::PositiveEqualityOnly;
+  opts.satConflictBudget = 1;
+  const VerifyReport rep = verify({4, 2}, {}, opts);
+  EXPECT_EQ(rep.verdict, Verdict::Inconclusive);
+}
+
+TEST(Verify, NaiveSimulationGivesSameVerdict) {
+  VerifyOptions coi, naive;
+  naive.sim.coneOfInfluence = false;
+  const VerifyReport a = verify({4, 2}, {}, coi);
+  const VerifyReport b = verify({4, 2}, {}, naive);
+  EXPECT_EQ(a.verdict, Verdict::Correct);
+  EXPECT_EQ(b.verdict, Verdict::Correct);
+  // The naive mode must do strictly more evaluation work.
+  EXPECT_GT(b.simStats.signalEvals, a.simStats.signalEvals);
+}
+
+TEST(Verify, CnfStatsIndependentOfRobSize) {
+  // Table 5's headline property: after rewriting, the CNF depends only on
+  // the issue width.
+  VerifyOptions opts;
+  const VerifyReport a = verify({4, 2}, {}, opts);
+  const VerifyReport b = verify({12, 2}, {}, opts);
+  const VerifyReport c = verify({24, 2}, {}, opts);
+  EXPECT_EQ(a.evcStats.cnfVars, b.evcStats.cnfVars);
+  EXPECT_EQ(b.evcStats.cnfVars, c.evcStats.cnfVars);
+  EXPECT_EQ(a.evcStats.cnfClauses, c.evcStats.cnfClauses);
+}
+
+TEST(Verify, PeOnlyCnfGrowsWithRobSize) {
+  VerifyOptions opts;
+  opts.strategy = Strategy::PositiveEqualityOnly;
+  const VerifyReport a = verify({2, 1}, {}, opts);
+  const VerifyReport b = verify({4, 1}, {}, opts);
+  EXPECT_GT(b.evcStats.cnfVars, a.evcStats.cnfVars);
+  EXPECT_GT(b.evcStats.eijVars, a.evcStats.eijVars);
+}
+
+}  // namespace
+}  // namespace velev::core

@@ -1,0 +1,179 @@
+// velev_verify — command-line front end for the verification flow.
+//
+//   $ velev_verify --size 128 --width 4
+//   $ velev_verify --size 128 --width 4 --bug fwd:72
+//   $ velev_verify --size 4 --width 2 --strategy pe --dump-cnf out.cnf
+//   $ velev_verify --size 2 --width 1 --strategy pe --proof out.drat
+//
+// Options:
+//   --size N          ROB size (default 8)
+//   --width K         issue/retire width (default 2)
+//   --strategy S      rewrite (default) | pe
+//   --bug KIND:SLICE  inject a defect: fwd | stale | retire | alu |
+//                     completion, at the given 1-based slice
+//   --budget N        SAT conflict budget (default unlimited)
+//   --no-coi          disable the cone-of-influence simulator optimization
+//   --dump-cnf FILE   write the correctness CNF in DIMACS format
+//   --proof FILE      log a DRAT proof and self-check it on UNSAT
+//   --quiet           print only the verdict line
+//
+// Exit code: 0 correct, 1 bug found / mismatch, 2 usage error,
+//            3 inconclusive (budget).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/diagram.hpp"
+#include "evc/translate.hpp"
+#include "models/spec.hpp"
+#include "rewrite/engine.hpp"
+#include "sat/drat.hpp"
+#include "sat/solver.hpp"
+#include "support/timer.hpp"
+
+using namespace velev;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "error: %s\nsee the header of tools/velev_verify.cpp "
+                       "for usage\n",
+               msg);
+  std::exit(2);
+}
+
+models::BugKind parseBugKind(const std::string& s) {
+  if (s == "fwd") return models::BugKind::ForwardingWrongOperand;
+  if (s == "stale") return models::BugKind::ForwardingStaleResult;
+  if (s == "retire") return models::BugKind::RetireIgnoresValidResult;
+  if (s == "alu") return models::BugKind::AluWrongOpcode;
+  if (s == "completion") return models::BugKind::CompletionSkipsWrite;
+  usage(("unknown bug kind: " + s).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned size = 8, width = 2;
+  bool peOnly = false, quiet = false, coi = true;
+  std::int64_t budget = -1;
+  models::BugSpec bug;
+  const char* dumpCnf = nullptr;
+  const char* proofPath = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--size") size = std::atoi(next());
+    else if (a == "--width") width = std::atoi(next());
+    else if (a == "--strategy") {
+      const std::string s = next();
+      if (s == "pe") peOnly = true;
+      else if (s == "rewrite") peOnly = false;
+      else usage(("unknown strategy: " + s).c_str());
+    } else if (a == "--bug") {
+      const std::string s = next();
+      const auto colon = s.find(':');
+      if (colon == std::string::npos) usage("--bug expects KIND:SLICE");
+      bug.kind = parseBugKind(s.substr(0, colon));
+      bug.index = std::atoi(s.c_str() + colon + 1);
+    } else if (a == "--budget") budget = std::atoll(next());
+    else if (a == "--no-coi") coi = false;
+    else if (a == "--dump-cnf") dumpCnf = next();
+    else if (a == "--proof") proofPath = next();
+    else if (a == "--quiet") quiet = true;
+    else usage(("unknown option: " + a).c_str());
+  }
+  if (width < 1 || width > size) usage("need 1 <= width <= size");
+
+  try {
+  // Build + simulate.
+  eufm::Context cx;
+  const models::Isa isa = models::Isa::declare(cx);
+  const models::OoOConfig cfg{size, width};
+  auto impl = models::buildOoO(cx, isa, cfg, bug);
+  auto spec = models::buildSpec(cx, isa);
+  tlsim::SimOptions simOpts;
+  simOpts.coneOfInfluence = coi;
+  Timer t;
+  const core::Diagram d = core::buildDiagram(cx, *impl, *spec, simOpts);
+  const double simSec = t.seconds();
+  if (!quiet)
+    std::printf("simulated commutative diagram in %.3f s (%llu signal "
+                "evaluations)\n",
+                simSec,
+                static_cast<unsigned long long>(
+                    d.implSimStats.signalEvals + d.flushSimStats.signalEvals));
+
+  // Rewriting rules (unless PE-only).
+  eufm::Expr correctness = d.correctness;
+  evc::TranslateOptions topts;
+  if (!peOnly) {
+    t.reset();
+    const rewrite::RewriteResult rw = rewrite::rewriteRobUpdates(
+        cx, isa, impl->init, cfg, d.implRegFile, d.specRegFile);
+    if (!rw.ok) {
+      std::printf("verdict: NON-CONFORMING SLICE %u (%s) after %.3f s\n",
+                  rw.failedSlice, rw.message.c_str(), t.seconds());
+      return 1;
+    }
+    if (!quiet)
+      std::printf("rewriting rules removed %u updates in %.3f s\n",
+                  rw.updatesRemoved, t.seconds());
+    eufm::Expr c = cx.mkFalse();
+    for (unsigned m = 0; m < d.specPc.size(); ++m)
+      c = cx.mkOr(c, cx.mkAnd(cx.mkEq(d.implPc, d.specPc[m]),
+                              cx.mkEq(rw.implRegFile, rw.specRegFile[m])));
+    correctness = c;
+    topts.conservativeMemory = true;
+  }
+
+  // Translate.
+  t.reset();
+  const evc::Translation tr = evc::translate(cx, correctness, topts);
+  if (!quiet)
+    std::printf("translated to CNF in %.3f s: %u vars, %zu clauses, "
+                "%u e_ij variables\n",
+                t.seconds(), tr.cnf.numVars, tr.cnf.numClauses(),
+                tr.stats.eijVars);
+  if (dumpCnf) {
+    std::ofstream out(dumpCnf);
+    prop::writeDimacs(tr.cnf, out);
+    if (!quiet) std::printf("wrote DIMACS to %s\n", dumpCnf);
+  }
+
+  // Solve.
+  sat::Proof proof;
+  t.reset();
+  const sat::Result r = sat::solveCnf(tr.cnf, nullptr, nullptr, budget,
+                                      proofPath ? &proof : nullptr);
+  const double satSec = t.seconds();
+  switch (r) {
+    case sat::Result::Unsat:
+      if (proofPath) {
+        const bool certified = sat::checkRup(tr.cnf, proof);
+        std::ofstream out(proofPath);
+        sat::writeDrat(proof, out);
+        std::printf("proof: %zu steps, self-check %s, written to %s\n",
+                    proof.size(), certified ? "PASSED" : "FAILED", proofPath);
+        if (!certified) return 2;
+      }
+      std::printf("verdict: CORRECT (UNSAT in %.3f s)\n", satSec);
+      return 0;
+    case sat::Result::Sat:
+      std::printf("verdict: COUNTEREXAMPLE FOUND (SAT in %.3f s)\n", satSec);
+      return 1;
+    default:
+      std::printf("verdict: INCONCLUSIVE (budget exhausted after %.3f s)\n",
+                  satSec);
+      return 3;
+  }
+  } catch (const InternalError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
