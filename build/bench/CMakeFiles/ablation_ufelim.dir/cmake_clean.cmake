@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ufelim.dir/ablation_ufelim.cpp.o"
+  "CMakeFiles/ablation_ufelim.dir/ablation_ufelim.cpp.o.d"
+  "ablation_ufelim"
+  "ablation_ufelim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ufelim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

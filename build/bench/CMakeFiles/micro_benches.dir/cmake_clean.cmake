@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_benches.dir/micro_benches.cpp.o"
+  "CMakeFiles/micro_benches.dir/micro_benches.cpp.o.d"
+  "micro_benches"
+  "micro_benches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_benches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

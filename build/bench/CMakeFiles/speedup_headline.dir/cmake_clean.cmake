@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_headline.dir/speedup_headline.cpp.o"
+  "CMakeFiles/speedup_headline.dir/speedup_headline.cpp.o.d"
+  "speedup_headline"
+  "speedup_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_symsim.dir/table1_symsim.cpp.o"
+  "CMakeFiles/table1_symsim.dir/table1_symsim.cpp.o.d"
+  "table1_symsim"
+  "table1_symsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_symsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_pe_only.dir/table2_pe_only.cpp.o"
+  "CMakeFiles/table2_pe_only.dir/table2_pe_only.cpp.o.d"
+  "table2_pe_only"
+  "table2_pe_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pe_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_rewrite_stats.dir/table5_rewrite_stats.cpp.o"
+  "CMakeFiles/table5_rewrite_stats.dir/table5_rewrite_stats.cpp.o.d"
+  "table5_rewrite_stats"
+  "table5_rewrite_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_rewrite_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

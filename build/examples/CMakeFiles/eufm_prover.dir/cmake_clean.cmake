@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eufm_prover.dir/eufm_prover.cpp.o"
+  "CMakeFiles/eufm_prover.dir/eufm_prover.cpp.o.d"
+  "eufm_prover"
+  "eufm_prover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eufm_prover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eufm_prover.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_dimacs.dir/sat_dimacs.cpp.o"
+  "CMakeFiles/sat_dimacs.dir/sat_dimacs.cpp.o.d"
+  "sat_dimacs"
+  "sat_dimacs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_dimacs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/velev_core.dir/diagram.cpp.o"
+  "CMakeFiles/velev_core.dir/diagram.cpp.o.d"
+  "CMakeFiles/velev_core.dir/verifier.cpp.o"
+  "CMakeFiles/velev_core.dir/verifier.cpp.o.d"
+  "libvelev_core.a"
+  "libvelev_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/velev_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvelev_core.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eufm/eval.cpp" "src/eufm/CMakeFiles/velev_eufm.dir/eval.cpp.o" "gcc" "src/eufm/CMakeFiles/velev_eufm.dir/eval.cpp.o.d"
+  "/root/repo/src/eufm/expr.cpp" "src/eufm/CMakeFiles/velev_eufm.dir/expr.cpp.o" "gcc" "src/eufm/CMakeFiles/velev_eufm.dir/expr.cpp.o.d"
+  "/root/repo/src/eufm/memsort.cpp" "src/eufm/CMakeFiles/velev_eufm.dir/memsort.cpp.o" "gcc" "src/eufm/CMakeFiles/velev_eufm.dir/memsort.cpp.o.d"
+  "/root/repo/src/eufm/print.cpp" "src/eufm/CMakeFiles/velev_eufm.dir/print.cpp.o" "gcc" "src/eufm/CMakeFiles/velev_eufm.dir/print.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

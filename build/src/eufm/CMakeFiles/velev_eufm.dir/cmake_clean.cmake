@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/velev_eufm.dir/eval.cpp.o"
+  "CMakeFiles/velev_eufm.dir/eval.cpp.o.d"
+  "CMakeFiles/velev_eufm.dir/expr.cpp.o"
+  "CMakeFiles/velev_eufm.dir/expr.cpp.o.d"
+  "CMakeFiles/velev_eufm.dir/memsort.cpp.o"
+  "CMakeFiles/velev_eufm.dir/memsort.cpp.o.d"
+  "CMakeFiles/velev_eufm.dir/print.cpp.o"
+  "CMakeFiles/velev_eufm.dir/print.cpp.o.d"
+  "libvelev_eufm.a"
+  "libvelev_eufm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/velev_eufm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for velev_eufm.
+# This may be replaced when dependencies are built.

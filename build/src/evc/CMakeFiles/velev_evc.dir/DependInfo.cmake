@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evc/encode.cpp" "src/evc/CMakeFiles/velev_evc.dir/encode.cpp.o" "gcc" "src/evc/CMakeFiles/velev_evc.dir/encode.cpp.o.d"
+  "/root/repo/src/evc/memory.cpp" "src/evc/CMakeFiles/velev_evc.dir/memory.cpp.o" "gcc" "src/evc/CMakeFiles/velev_evc.dir/memory.cpp.o.d"
+  "/root/repo/src/evc/polarity.cpp" "src/evc/CMakeFiles/velev_evc.dir/polarity.cpp.o" "gcc" "src/evc/CMakeFiles/velev_evc.dir/polarity.cpp.o.d"
+  "/root/repo/src/evc/transitivity.cpp" "src/evc/CMakeFiles/velev_evc.dir/transitivity.cpp.o" "gcc" "src/evc/CMakeFiles/velev_evc.dir/transitivity.cpp.o.d"
+  "/root/repo/src/evc/translate.cpp" "src/evc/CMakeFiles/velev_evc.dir/translate.cpp.o" "gcc" "src/evc/CMakeFiles/velev_evc.dir/translate.cpp.o.d"
+  "/root/repo/src/evc/ufelim.cpp" "src/evc/CMakeFiles/velev_evc.dir/ufelim.cpp.o" "gcc" "src/evc/CMakeFiles/velev_evc.dir/ufelim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eufm/CMakeFiles/velev_eufm.dir/DependInfo.cmake"
+  "/root/repo/build/src/prop/CMakeFiles/velev_prop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

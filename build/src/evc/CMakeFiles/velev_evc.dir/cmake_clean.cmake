@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/velev_evc.dir/encode.cpp.o"
+  "CMakeFiles/velev_evc.dir/encode.cpp.o.d"
+  "CMakeFiles/velev_evc.dir/memory.cpp.o"
+  "CMakeFiles/velev_evc.dir/memory.cpp.o.d"
+  "CMakeFiles/velev_evc.dir/polarity.cpp.o"
+  "CMakeFiles/velev_evc.dir/polarity.cpp.o.d"
+  "CMakeFiles/velev_evc.dir/transitivity.cpp.o"
+  "CMakeFiles/velev_evc.dir/transitivity.cpp.o.d"
+  "CMakeFiles/velev_evc.dir/translate.cpp.o"
+  "CMakeFiles/velev_evc.dir/translate.cpp.o.d"
+  "CMakeFiles/velev_evc.dir/ufelim.cpp.o"
+  "CMakeFiles/velev_evc.dir/ufelim.cpp.o.d"
+  "libvelev_evc.a"
+  "libvelev_evc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/velev_evc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

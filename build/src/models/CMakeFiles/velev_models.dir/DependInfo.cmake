@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/ooo.cpp" "src/models/CMakeFiles/velev_models.dir/ooo.cpp.o" "gcc" "src/models/CMakeFiles/velev_models.dir/ooo.cpp.o.d"
+  "/root/repo/src/models/spec.cpp" "src/models/CMakeFiles/velev_models.dir/spec.cpp.o" "gcc" "src/models/CMakeFiles/velev_models.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tlsim/CMakeFiles/velev_tlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/eufm/CMakeFiles/velev_eufm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

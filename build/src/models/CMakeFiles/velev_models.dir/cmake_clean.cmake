@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/velev_models.dir/ooo.cpp.o"
+  "CMakeFiles/velev_models.dir/ooo.cpp.o.d"
+  "CMakeFiles/velev_models.dir/spec.cpp.o"
+  "CMakeFiles/velev_models.dir/spec.cpp.o.d"
+  "libvelev_models.a"
+  "libvelev_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/velev_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

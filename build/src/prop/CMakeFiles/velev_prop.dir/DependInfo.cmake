@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prop/cnf.cpp" "src/prop/CMakeFiles/velev_prop.dir/cnf.cpp.o" "gcc" "src/prop/CMakeFiles/velev_prop.dir/cnf.cpp.o.d"
+  "/root/repo/src/prop/prop.cpp" "src/prop/CMakeFiles/velev_prop.dir/prop.cpp.o" "gcc" "src/prop/CMakeFiles/velev_prop.dir/prop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

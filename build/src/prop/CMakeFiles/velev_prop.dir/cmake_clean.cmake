@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/velev_prop.dir/cnf.cpp.o"
+  "CMakeFiles/velev_prop.dir/cnf.cpp.o.d"
+  "CMakeFiles/velev_prop.dir/prop.cpp.o"
+  "CMakeFiles/velev_prop.dir/prop.cpp.o.d"
+  "libvelev_prop.a"
+  "libvelev_prop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/velev_prop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

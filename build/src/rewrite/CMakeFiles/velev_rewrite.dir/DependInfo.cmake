@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/contexts.cpp" "src/rewrite/CMakeFiles/velev_rewrite.dir/contexts.cpp.o" "gcc" "src/rewrite/CMakeFiles/velev_rewrite.dir/contexts.cpp.o.d"
+  "/root/repo/src/rewrite/engine.cpp" "src/rewrite/CMakeFiles/velev_rewrite.dir/engine.cpp.o" "gcc" "src/rewrite/CMakeFiles/velev_rewrite.dir/engine.cpp.o.d"
+  "/root/repo/src/rewrite/subst.cpp" "src/rewrite/CMakeFiles/velev_rewrite.dir/subst.cpp.o" "gcc" "src/rewrite/CMakeFiles/velev_rewrite.dir/subst.cpp.o.d"
+  "/root/repo/src/rewrite/update_chain.cpp" "src/rewrite/CMakeFiles/velev_rewrite.dir/update_chain.cpp.o" "gcc" "src/rewrite/CMakeFiles/velev_rewrite.dir/update_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/velev_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/eufm/CMakeFiles/velev_eufm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlsim/CMakeFiles/velev_tlsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

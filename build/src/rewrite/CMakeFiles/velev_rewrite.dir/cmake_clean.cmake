@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/velev_rewrite.dir/contexts.cpp.o"
+  "CMakeFiles/velev_rewrite.dir/contexts.cpp.o.d"
+  "CMakeFiles/velev_rewrite.dir/engine.cpp.o"
+  "CMakeFiles/velev_rewrite.dir/engine.cpp.o.d"
+  "CMakeFiles/velev_rewrite.dir/subst.cpp.o"
+  "CMakeFiles/velev_rewrite.dir/subst.cpp.o.d"
+  "CMakeFiles/velev_rewrite.dir/update_chain.cpp.o"
+  "CMakeFiles/velev_rewrite.dir/update_chain.cpp.o.d"
+  "libvelev_rewrite.a"
+  "libvelev_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/velev_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/velev_sat.dir/drat.cpp.o"
+  "CMakeFiles/velev_sat.dir/drat.cpp.o.d"
+  "CMakeFiles/velev_sat.dir/solver.cpp.o"
+  "CMakeFiles/velev_sat.dir/solver.cpp.o.d"
+  "libvelev_sat.a"
+  "libvelev_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/velev_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tlsim/netlist.cpp" "src/tlsim/CMakeFiles/velev_tlsim.dir/netlist.cpp.o" "gcc" "src/tlsim/CMakeFiles/velev_tlsim.dir/netlist.cpp.o.d"
+  "/root/repo/src/tlsim/sim.cpp" "src/tlsim/CMakeFiles/velev_tlsim.dir/sim.cpp.o" "gcc" "src/tlsim/CMakeFiles/velev_tlsim.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eufm/CMakeFiles/velev_eufm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

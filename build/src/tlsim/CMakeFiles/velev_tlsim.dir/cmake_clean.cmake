@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/velev_tlsim.dir/netlist.cpp.o"
+  "CMakeFiles/velev_tlsim.dir/netlist.cpp.o.d"
+  "CMakeFiles/velev_tlsim.dir/sim.cpp.o"
+  "CMakeFiles/velev_tlsim.dir/sim.cpp.o.d"
+  "libvelev_tlsim.a"
+  "libvelev_tlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/velev_tlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/core_test.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/velev_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/velev_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/evc/CMakeFiles/velev_evc.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/velev_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlsim/CMakeFiles/velev_tlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/velev_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/prop/CMakeFiles/velev_prop.dir/DependInfo.cmake"
+  "/root/repo/build/src/eufm/CMakeFiles/velev_eufm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drat_test.dir/drat_test.cpp.o"
+  "CMakeFiles/drat_test.dir/drat_test.cpp.o.d"
+  "drat_test"
+  "drat_test.pdb"
+  "drat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eufm_test.dir/eufm_test.cpp.o"
+  "CMakeFiles/eufm_test.dir/eufm_test.cpp.o.d"
+  "eufm_test"
+  "eufm_test.pdb"
+  "eufm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eufm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

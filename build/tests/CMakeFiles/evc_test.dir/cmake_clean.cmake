@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evc_test.dir/evc_test.cpp.o"
+  "CMakeFiles/evc_test.dir/evc_test.cpp.o.d"
+  "evc_test"
+  "evc_test.pdb"
+  "evc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

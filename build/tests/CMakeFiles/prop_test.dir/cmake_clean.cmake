@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_test.dir/prop_test.cpp.o"
+  "CMakeFiles/prop_test.dir/prop_test.cpp.o.d"
+  "prop_test"
+  "prop_test.pdb"
+  "prop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

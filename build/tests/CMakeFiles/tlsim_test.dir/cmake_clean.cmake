@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_test.dir/tlsim_test.cpp.o"
+  "CMakeFiles/tlsim_test.dir/tlsim_test.cpp.o.d"
+  "tlsim_test"
+  "tlsim_test.pdb"
+  "tlsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/velev_verify.dir/velev_verify.cpp.o"
+  "CMakeFiles/velev_verify.dir/velev_verify.cpp.o.d"
+  "velev_verify"
+  "velev_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/velev_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
