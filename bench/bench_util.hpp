@@ -8,10 +8,18 @@
 // as the paper's 4 GB Sun4 needed hours).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "core/grid_runner.hpp"
+#include "support/json.hpp"
+#include "support/mem.hpp"
+#include "support/timer.hpp"
 
 namespace velev::bench {
 
@@ -19,6 +27,101 @@ inline bool fullScale() {
   const char* v = std::getenv("REPRO_FULL");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
+
+/// Worker threads for the grid benches: `--jobs N` on the command line, or
+/// the REPRO_JOBS environment variable, else `fallback`.
+inline unsigned parseJobs(int argc, char** argv, unsigned fallback = 1) {
+  unsigned jobs = fallback;
+  if (const char* env = std::getenv("REPRO_JOBS"); env && env[0] != '\0')
+    jobs = static_cast<unsigned>(std::atoi(env));
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--jobs")
+      jobs = static_cast<unsigned>(std::atoi(argv[i + 1]));
+  return jobs < 1 ? 1 : jobs;
+}
+
+// ---- machine-readable bench output ----------------------------------------
+// Every bench writes BENCH_<name>.json next to its table so the perf
+// trajectory is trackable across PRs. Schema (documented in EXPERIMENTS.md):
+//   { "bench": str, "jobs": uint, "cells": [ { "rob_size": uint,
+//     "width": uint, "label": str, "verdict": str, "wall_seconds": num,
+//     "sat_conflicts": uint, "mem_high_water_kb": uint } ... ],
+//     "notes": { str: num ... }, "total_wall_seconds": num }
+
+struct JsonCell {
+  unsigned robSize = 0;
+  unsigned issueWidth = 0;
+  std::string label;        // e.g. strategy or phase; may be empty
+  std::string verdict;      // core::verdictName() or bench-specific
+  double wallSeconds = 0;
+  std::uint64_t satConflicts = 0;
+  std::size_t memHighWaterKb = 0;
+};
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name, unsigned jobs = 1)
+      : name_(std::move(name)), jobs_(jobs) {}
+
+  void add(JsonCell cell) { cells_.push_back(std::move(cell)); }
+
+  void add(const core::GridCellResult& r, std::string label = {}) {
+    JsonCell c;
+    c.robSize = r.cell.robSize;
+    c.issueWidth = r.cell.issueWidth;
+    c.label = std::move(label);
+    c.verdict = r.skipped ? "skipped" : core::verdictName(r.report.verdict);
+    c.wallSeconds = r.wallSeconds;
+    c.satConflicts = r.report.satStats.conflicts;
+    c.memHighWaterKb = r.memHighWaterKb;
+    cells_.push_back(std::move(c));
+  }
+
+  /// Scalar extras (speedups, budgets, ...) under the "notes" object.
+  void note(std::string key, double value) {
+    notes_.emplace_back(std::move(key), value);
+  }
+
+  /// Writes BENCH_<name>.json in the current directory.
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("bench", name_);
+    w.kv("jobs", jobs_);
+    w.key("cells");
+    w.beginArray();
+    for (const JsonCell& c : cells_) {
+      w.beginObject();
+      w.kv("rob_size", c.robSize);
+      w.kv("width", c.issueWidth);
+      if (!c.label.empty()) w.kv("label", c.label);
+      w.kv("verdict", c.verdict);
+      w.kv("wall_seconds", c.wallSeconds);
+      w.kv("sat_conflicts", c.satConflicts);
+      w.kv("mem_high_water_kb", static_cast<std::uint64_t>(c.memHighWaterKb));
+      w.endObject();
+    }
+    w.endArray();
+    if (!notes_.empty()) {
+      w.key("notes");
+      w.beginObject();
+      for (const auto& [k, v] : notes_) w.kv(k, v);
+      w.endObject();
+    }
+    w.kv("total_wall_seconds", total_.seconds());
+    w.endObject();
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  unsigned jobs_ = 1;
+  std::vector<JsonCell> cells_;
+  std::vector<std::pair<std::string, double>> notes_;
+  Timer total_;  // started at construction
+};
 
 /// Default / full-scale ROB sizes (paper: 4..1500).
 inline std::vector<unsigned> robSizes() {

@@ -7,11 +7,20 @@
 // ROB size 4, width 4; REPRO_FULL attempts 8/8 with a large budget). The
 // quantity reported is the end-to-end verification time of each strategy
 // and their ratio.
+//
+// Part 2 measures the OTHER axis of speed — hardware parallelism: the
+// default verification grid (rewriting strategy) is run once sequentially
+// and once on the work-stealing grid runner with `--jobs N` workers
+// (default: min(4, hardware threads); REPRO_JOBS overrides). Cell-by-cell
+// verdicts must be identical; the wall-clock ratio is the parallel
+// speedup. Machine-readable results land in BENCH_speedup_headline.json.
 #include <cmath>
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "core/grid_runner.hpp"
 #include "core/verifier.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 using namespace velev;
@@ -33,8 +42,11 @@ double runStrategy(const models::OoOConfig& cfg, core::Strategy strategy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   setvbuf(stdout, nullptr, _IONBF, 0);
+  const unsigned jobs = bench::parseJobs(
+      argc, argv, std::min(4u, ThreadPool::hardwareThreads()));
+  bench::JsonReport json("speedup_headline", jobs);
   const models::OoOConfig cfg =
       bench::fullScale() ? models::OoOConfig{8, 8} : models::OoOConfig{4, 4};
   const std::int64_t budget = bench::fullScale() ? 50000000 : 3000000;
@@ -53,9 +65,16 @@ int main() {
       "%.3f, translate %.3f, SAT %.3f)\n",
       rwTime, rwOk ? "correct" : "PROBLEM", rwRep.simSeconds,
       rwRep.rewriteSeconds, rwRep.translateSeconds, rwRep.satSeconds);
+  json.add(bench::JsonCell{cfg.robSize, cfg.issueWidth, "headline-rewrite",
+                           rwOk ? "correct" : "PROBLEM", rwTime,
+                           rwRep.satStats.conflicts, rssHighWaterKb()});
 
+  core::VerifyReport peRep;
   const double peTime = runStrategy(cfg, core::Strategy::PositiveEqualityOnly,
-                                    budget, &peOk);
+                                    budget, &peOk, &peRep);
+  json.add(bench::JsonCell{cfg.robSize, cfg.issueWidth, "headline-pe-only",
+                           peOk ? "correct" : "budget-exhausted", peTime,
+                           peRep.satStats.conflicts, rssHighWaterKb()});
   if (peOk) {
     std::printf("Positive Equality only        : %8.3f s  (correct)\n",
                 peTime);
@@ -72,8 +91,48 @@ int main() {
         "magnitude; lower bound)\n",
         peTime / rwTime, std::log10(peTime / rwTime));
   }
+  json.note("rewrite_vs_pe_speedup", peTime / rwTime);
   std::printf(
       "\n(paper, 336 MHz Sun4: 38,708 s -> 0.35 s at size 8 / width 8 — "
       "5 orders of magnitude)\n");
-  return 0;
+
+  // ---- part 2: parallel grid runner scaling -------------------------------
+  std::vector<unsigned> sizes = {16, 32, 64, 128};
+  std::vector<unsigned> widths = {1, 2, 4};
+  if (bench::fullScale()) sizes.push_back(250);
+  const std::vector<core::GridCell> cells = core::makeGrid(sizes, widths);
+
+  core::GridOptions gopts;
+  gopts.verify.strategy = core::Strategy::RewritingPlusPositiveEquality;
+
+  gopts.jobs = 1;
+  Timer tSeq;
+  const auto seq = core::runGrid(cells, gopts);
+  const double seqSec = tSeq.seconds();
+  for (const auto& r : seq) json.add(r, "grid-jobs1");
+
+  gopts.jobs = jobs;
+  Timer tPar;
+  const auto par = core::runGrid(cells, gopts);
+  const double parSec = tPar.seconds();
+  for (const auto& r : par) json.add(r, "grid-jobsN");
+
+  bool verdictsMatch = true;
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    verdictsMatch &= seq[i].report.verdict == par[i].report.verdict;
+
+  std::printf(
+      "\nParallel grid runner (%zu cells, rewriting strategy, sizes up to "
+      "%u):\n  sequential        : %8.3f s\n  %2u jobs           : %8.3f s\n"
+      "  parallel speedup  : %8.2fx on %u hardware threads\n"
+      "  verdicts identical: %s\n",
+      cells.size(), sizes.back(), seqSec, jobs, parSec, seqSec / parSec,
+      ThreadPool::hardwareThreads(), verdictsMatch ? "yes" : "NO!");
+  json.note("grid_cells", static_cast<double>(cells.size()));
+  json.note("grid_sequential_seconds", seqSec);
+  json.note("grid_parallel_seconds", parSec);
+  json.note("grid_parallel_speedup", seqSec / parSec);
+  json.note("verdicts_identical", verdictsMatch ? 1 : 0);
+  json.write();
+  return verdictsMatch ? 0 : 1;
 }

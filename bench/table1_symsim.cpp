@@ -6,11 +6,18 @@
 // paper notes that restricting evaluation to the active completion slice's
 // cone was necessary to simulate large reorder buffers; rerun two
 // configurations in naive full-evaluation mode to show the gap.
+//
+// Grid cells are independent; `--jobs N` (or REPRO_JOBS) fans them out on
+// the work-stealing pool — each task builds its OWN eufm::Context (the
+// one-context-per-cell ownership rule). Machine-readable results land in
+// BENCH_table1_symsim.json.
 #include <cstdio>
+#include <future>
 
 #include "bench_util.hpp"
 #include "core/diagram.hpp"
 #include "models/spec.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 using namespace velev;
@@ -35,16 +42,35 @@ double simulateOnce(unsigned n, unsigned k, bool coi,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   setvbuf(stdout, nullptr, _IONBF, 0);
+  const unsigned jobs = bench::parseJobs(argc, argv);
   const auto sizes = bench::robSizes();
   const auto widths = bench::issueWidths();
+  bench::JsonReport json("table1_symsim", jobs);
+
+  // Fan every valid (n, k) cell out on the pool, then print in table order.
+  struct Cell {
+    unsigned n, k;
+    std::future<double> seconds;
+  };
+  std::vector<Cell> cells;
+  {
+    ThreadPool pool(jobs);
+    for (unsigned n : sizes)
+      for (unsigned k : widths)
+        if (k <= n)
+          cells.push_back(Cell{
+              n, k, pool.submit([n, k] { return simulateOnce(n, k, true); })});
+    // pool destructor drains all cells
+  }
 
   bench::printHeader(
       "Table 1: symbolic simulation time [s] to generate the EUFM "
       "correctness formula\n(rows: ROB size, columns: issue/retire width; "
       "'-' = width exceeds ROB size)",
       "size\\width", widths);
+  std::size_t idx = 0;
   for (unsigned n : sizes) {
     bench::printRowLabel(n);
     for (unsigned k : widths) {
@@ -52,7 +78,16 @@ int main() {
         bench::printDash();
         continue;
       }
-      bench::printCell(simulateOnce(n, k, /*coi=*/true));
+      const double secs = cells[idx++].seconds.get();
+      bench::printCell(secs);
+      bench::JsonCell jc;
+      jc.robSize = n;
+      jc.issueWidth = k;
+      jc.label = "symsim";
+      jc.verdict = "simulated";
+      jc.wallSeconds = secs;
+      jc.memHighWaterKb = rssHighWaterKb();
+      json.add(jc);
     }
     bench::endRow();
   }
@@ -74,6 +109,14 @@ int main() {
                 c.n, c.k, tc, tn, tn / (tc > 0 ? tc : 1e-9),
                 static_cast<unsigned long long>(evalsCoi),
                 static_cast<unsigned long long>(evalsNaive));
+    bench::JsonCell jc;
+    jc.robSize = c.n;
+    jc.issueWidth = c.k;
+    jc.label = "ablation-naive";
+    jc.verdict = "simulated";
+    jc.wallSeconds = tn;
+    json.add(jc);
   }
+  json.write();
   return 0;
 }

@@ -8,17 +8,21 @@
 // small sizes to completion and report a lower bound (">T") when the
 // per-cell conflict budget is exhausted, which plays the role of the
 // paper's ">18,000 (Out of Memory)" entries.
+//
+// The grid cells are independent; `--jobs N` (or REPRO_JOBS) fans them out
+// on the parallel grid runner. Machine-readable results land in
+// BENCH_table2_pe_only.json.
 #include <cstdio>
 #include <string>
 
 #include "bench_util.hpp"
-#include "core/verifier.hpp"
-
+#include "core/grid_runner.hpp"
 
 using namespace velev;
 
-int main() {
+int main(int argc, char** argv) {
   setvbuf(stdout, nullptr, _IONBF, 0);
+  const unsigned jobs = bench::parseJobs(argc, argv);
   std::vector<unsigned> sizes = {2, 3, 4};
   std::vector<unsigned> widths = {1, 2, 4};
   if (bench::fullScale()) {
@@ -29,12 +33,22 @@ int main() {
   const std::int64_t budget =
       budgetEnv ? std::atoll(budgetEnv) : 1500000;  // conflicts per cell
 
+  bench::JsonReport json("table2_pe_only", jobs);
+  core::GridOptions gopts;
+  gopts.jobs = jobs;
+  gopts.verify.strategy = core::Strategy::PositiveEqualityOnly;
+  gopts.verify.satConflictBudget = budget;
+  const std::vector<core::GridCell> cells = core::makeGrid(sizes, widths);
+  const std::vector<core::GridCellResult> results =
+      core::runGrid(cells, gopts);
+
   bench::printHeader(
       "Table 2: SAT-checking time [s] for correctness, Positive Equality "
       "ONLY\n(rows: ROB size; columns: issue/retire width; '>' = conflict "
       "budget exhausted,\nthe analogue of the paper's 'Out of Memory' "
       "entries)",
       "size\\width", widths);
+  std::size_t idx = 0;  // results follow makeGrid's (sizes × widths) order
   for (unsigned n : sizes) {
     bench::printRowLabel(n);
     for (unsigned k : widths) {
@@ -42,10 +56,9 @@ int main() {
         bench::printDash();
         continue;
       }
-      core::VerifyOptions opts;
-      opts.strategy = core::Strategy::PositiveEqualityOnly;
-      opts.satConflictBudget = budget;
-      const core::VerifyReport rep = core::verify({n, k}, {}, opts);
+      const core::GridCellResult& r = results[idx++];
+      json.add(r, "pe-only");
+      const core::VerifyReport& rep = r.report;
       if (rep.verdict == core::Verdict::Correct) {
         bench::printCell(rep.satSeconds);
       } else if (rep.verdict == core::Verdict::Inconclusive) {
@@ -60,7 +73,9 @@ int main() {
   }
   std::printf(
       "\n(per-cell SAT conflict budget: %lld; override with "
-      "REPRO_SAT_BUDGET)\n",
-      static_cast<long long>(budget));
+      "REPRO_SAT_BUDGET; %u jobs)\n",
+      static_cast<long long>(budget), jobs);
+  json.note("conflict_budget", static_cast<double>(budget));
+  json.write();
   return 0;
 }

@@ -3,22 +3,37 @@
 // Equality are used (the paper's contribution). The reported time covers
 // the rewriting rules plus the EVC translation with the conservative memory
 // model — the stage the paper times in Table 4.
+//
+// Cells are independent; `--jobs N` (or REPRO_JOBS) runs them on the
+// parallel grid runner. Machine-readable results land in
+// BENCH_table4_rewrite_time.json.
 #include <cstdio>
 
 #include "bench_util.hpp"
-#include "core/verifier.hpp"
+#include "core/grid_runner.hpp"
 
 using namespace velev;
 
-int main() {
+int main(int argc, char** argv) {
   setvbuf(stdout, nullptr, _IONBF, 0);
+  const unsigned jobs = bench::parseJobs(argc, argv);
   const auto sizes = bench::robSizes();
   const auto widths = bench::issueWidths();
+
+  bench::JsonReport json("table4_rewrite_time", jobs);
+  core::GridOptions gopts;
+  gopts.jobs = jobs;
+  gopts.verify.strategy = core::Strategy::RewritingPlusPositiveEquality;
+  gopts.verify.skipSat = true;  // translation timing only; Table 5 runs SAT
+  const std::vector<core::GridCell> cells = core::makeGrid(sizes, widths);
+  const std::vector<core::GridCellResult> results =
+      core::runGrid(cells, gopts);
 
   bench::printHeader(
       "Table 4: EUFM -> Boolean translation time [s] with rewriting rules + "
       "Positive Equality\n(rows: ROB size, columns: issue/retire width)",
       "size\\width", widths);
+  std::size_t idx = 0;
   for (unsigned n : sizes) {
     bench::printRowLabel(n);
     for (unsigned k : widths) {
@@ -26,20 +41,20 @@ int main() {
         bench::printDash();
         continue;
       }
-      core::VerifyOptions opts;
-      opts.strategy = core::Strategy::RewritingPlusPositiveEquality;
-      opts.skipSat = true;  // translation timing only; Table 5 runs SAT
-      const core::VerifyReport rep = core::verify({n, k}, {}, opts);
-      if (rep.verdict == core::Verdict::RewriteMismatch) {
+      const core::GridCellResult& r = results[idx++];
+      json.add(r, "rewrite+translate");
+      if (r.report.verdict == core::Verdict::RewriteMismatch) {
         bench::printCellText("BUG?");
       } else {
-        bench::printCell(rep.rewriteSeconds + rep.translateSeconds);
+        bench::printCell(r.report.rewriteSeconds + r.report.translateSeconds);
       }
     }
     bench::endRow();
   }
   std::printf(
       "\n(simulation time is Table 1; SAT time and CNF statistics are "
-      "Table 5)\n");
+      "Table 5; %u jobs)\n",
+      jobs);
+  json.write();
   return 0;
 }

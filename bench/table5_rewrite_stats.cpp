@@ -9,15 +9,21 @@
 //     initially in the ROB were removed by the rewriting rules. We verify
 //     this by running every width at two different ROB sizes and checking
 //     the resulting CNFs have identical statistics.
+// Each width column is independent (two verify() calls, each with its own
+// eufm::Context); `--jobs N` (or REPRO_JOBS) fans the columns out on the
+// work-stealing pool. Machine-readable results: BENCH_table5_rewrite_stats.json.
 #include <cstdio>
+#include <future>
 
 #include "bench_util.hpp"
 #include "core/verifier.hpp"
+#include "support/thread_pool.hpp"
 
 using namespace velev;
 
-int main() {
+int main(int argc, char** argv) {
   setvbuf(stdout, nullptr, _IONBF, 0);
+  const unsigned jobs = bench::parseJobs(argc, argv);
   std::vector<unsigned> widths = {1, 2, 4, 8, 16, 32};
   if (bench::fullScale()) {
     widths.push_back(64);
@@ -27,20 +33,43 @@ int main() {
   struct Col {
     core::VerifyReport rep;
     bool sizeIndependent;
+    double wallSeconds;
   };
   std::vector<Col> cols;
-  for (unsigned k : widths) {
-    core::VerifyOptions opts;
-    const unsigned nSmall = std::max(k, 2u);
-    const unsigned nLarge = std::max(4 * k, 64u);
-    Col col;
-    col.rep = core::verify({nLarge, k}, {}, opts);
-    const core::VerifyReport small = core::verify({nSmall, k}, {}, opts);
-    col.sizeIndependent =
-        small.evcStats.cnfVars == col.rep.evcStats.cnfVars &&
-        small.evcStats.cnfClauses == col.rep.evcStats.cnfClauses &&
-        small.evcStats.eijVars == col.rep.evcStats.eijVars;
-    cols.push_back(col);
+  {
+    std::vector<std::future<Col>> pendingCols;
+    ThreadPool pool(jobs);
+    for (unsigned k : widths) {
+      pendingCols.push_back(pool.submit([k] {
+        core::VerifyOptions opts;
+        const unsigned nSmall = std::max(k, 2u);
+        const unsigned nLarge = std::max(4 * k, 64u);
+        Col col;
+        Timer t;
+        col.rep = core::verify({nLarge, k}, {}, opts);
+        const core::VerifyReport small = core::verify({nSmall, k}, {}, opts);
+        col.wallSeconds = t.seconds();
+        col.sizeIndependent =
+            small.evcStats.cnfVars == col.rep.evcStats.cnfVars &&
+            small.evcStats.cnfClauses == col.rep.evcStats.cnfClauses &&
+            small.evcStats.eijVars == col.rep.evcStats.eijVars;
+        return col;
+      }));
+    }
+    for (auto& f : pendingCols) cols.push_back(f.get());
+  }
+
+  bench::JsonReport json("table5_rewrite_stats", jobs);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    bench::JsonCell jc;
+    jc.robSize = std::max(4 * widths[i], 64u);
+    jc.issueWidth = widths[i];
+    jc.label = cols[i].sizeIndependent ? "size-independent" : "SIZE-DEPENDENT";
+    jc.verdict = core::verdictName(cols[i].rep.verdict);
+    jc.wallSeconds = cols[i].wallSeconds;
+    jc.satConflicts = cols[i].rep.satStats.conflicts;
+    jc.memHighWaterKb = rssHighWaterKb();
+    json.add(jc);
   }
 
   std::printf(
@@ -83,5 +112,6 @@ int main() {
     return std::string(c.rep.verdict == core::Verdict::Correct ? "correct"
                                                                : "PROBLEM");
   });
+  json.write();
   return 0;
 }

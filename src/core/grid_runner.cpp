@@ -1,0 +1,77 @@
+#include "core/grid_runner.hpp"
+
+#include <algorithm>
+#include <future>
+
+#include "support/mem.hpp"
+#include "support/timer.hpp"
+
+namespace velev::core {
+
+namespace {
+
+GridCellResult runCell(const GridCell& cell, const VerifyOptions& opts) {
+  GridCellResult res;
+  res.cell = cell;
+  Timer t;
+  // verify() builds a fresh eufm::Context for this cell (the
+  // one-context-per-cell ownership rule; see the header).
+  res.report =
+      verify(models::OoOConfig{cell.robSize, cell.issueWidth}, cell.bug, opts);
+  res.wallSeconds = t.seconds();
+  res.memHighWaterKb = rssHighWaterKb();
+  return res;
+}
+
+}  // namespace
+
+std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
+                                    const GridOptions& opts,
+                                    CancelToken* cancel) {
+  std::vector<GridCellResult> results(cells.size());
+
+  if (opts.jobs <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        results[i].cell = cells[i];
+        results[i].skipped = true;
+        continue;
+      }
+      results[i] = runCell(cells[i], opts.verify);
+    }
+    return results;
+  }
+
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(opts.jobs, std::max<std::size_t>(1, cells.size())));
+  ThreadPool pool(workers);
+  const CancelToken token = cancel != nullptr ? *cancel : CancelToken();
+  std::vector<std::future<void>> done;
+  done.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    done.push_back(pool.submit(token, [&results, &cells, &opts, i] {
+      results[i] = runCell(cells[i], opts.verify);
+    }));
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    try {
+      done[i].get();
+    } catch (const CancelledError&) {
+      results[i].cell = cells[i];
+      results[i].skipped = true;
+    }
+  }
+  return results;
+}
+
+std::vector<GridCell> makeGrid(std::span<const unsigned> sizes,
+                               std::span<const unsigned> widths) {
+  std::vector<GridCell> cells;
+  cells.reserve(sizes.size() * widths.size());
+  for (unsigned n : sizes)
+    for (unsigned k : widths)
+      if (k >= 1 && k <= n) cells.push_back(GridCell{n, k, {}});
+  return cells;
+}
+
+}  // namespace velev::core

@@ -1,0 +1,59 @@
+// Parallel grid runner: fan the Burch–Dill verification of independent
+// (ROB size, issue width) configurations out across cores.
+//
+// The paper's evaluation (Tables 1-5) is a grid of configurations that are
+// completely independent of each other — embarrassingly parallel. Each grid
+// cell is one pool task that builds its OWN `eufm::Context`, its own
+// processor models, and runs the full verify() pipeline inside the task.
+//
+// THREAD-OWNERSHIP RULE: one ExprContext per verification cell. The EUFM
+// context (hash-consing table, string interner) and the prop/CNF contexts
+// derived from it are unsynchronized by design — sharing or cross-thread
+// interning is a data race. The grid runner never passes expressions
+// between cells; the only shared state is the results vector, written at
+// disjoint indices and read after all futures are joined. Results are
+// returned in input order, so a parallel run is observationally identical
+// to the sequential one (up to wall-clock fields).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/verifier.hpp"
+#include "support/thread_pool.hpp"
+
+namespace velev::core {
+
+struct GridCell {
+  unsigned robSize = 8;
+  unsigned issueWidth = 2;
+  models::BugSpec bug;  // default: no injected defect
+};
+
+struct GridCellResult {
+  GridCell cell;
+  VerifyReport report;
+  double wallSeconds = 0;       // end-to-end wall time of this cell
+  std::size_t memHighWaterKb = 0;  // process RSS high-water after the cell
+  bool skipped = false;         // cancelled before the cell started
+};
+
+struct GridOptions {
+  unsigned jobs = 1;       // worker threads; 1 = run in the calling thread
+  VerifyOptions verify;    // applied to every cell
+};
+
+/// Verify every cell of `cells`; results come back in input order. With
+/// jobs > 1, cells run on a work-stealing pool. Cancelling `cancel` stops
+/// the cells that have not started yet (marked skipped, verdict
+/// Inconclusive); running cells finish normally.
+std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
+                                    const GridOptions& opts,
+                                    CancelToken* cancel = nullptr);
+
+/// Cross product of sizes × widths, dropping the impossible cells
+/// (width > size) exactly as the paper's tables print a dash for them.
+std::vector<GridCell> makeGrid(std::span<const unsigned> sizes,
+                               std::span<const unsigned> widths);
+
+}  // namespace velev::core

@@ -7,6 +7,16 @@ namespace velev::core {
 
 using eufm::Expr;
 
+const char* verdictName(Verdict v) {
+  switch (v) {
+    case Verdict::Correct: return "correct";
+    case Verdict::CounterexampleFound: return "counterexample";
+    case Verdict::RewriteMismatch: return "rewrite-mismatch";
+    case Verdict::Inconclusive: return "inconclusive";
+  }
+  return "unknown";
+}
+
 VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
                         models::OoOProcessor& impl,
                         models::SpecProcessor& spec,

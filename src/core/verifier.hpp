@@ -42,6 +42,9 @@ enum class Verdict {
   Inconclusive,       // SAT budget exhausted
 };
 
+/// Stable lower-case name, used by the CLI and the JSON bench reports.
+const char* verdictName(Verdict v);
+
 struct VerifyReport {
   Verdict verdict = Verdict::Inconclusive;
 

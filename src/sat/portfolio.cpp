@@ -1,0 +1,102 @@
+#include "sat/portfolio.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+
+#include "support/hash.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace velev::sat {
+
+Options portfolioInstanceOptions(const PortfolioOptions& opts, unsigned i) {
+  Options o = opts.base;
+  if (i == 0) return o;  // deterministic baseline configuration
+  o.seed = mix64(opts.baseSeed + i);
+  o.randomInitPhase = (i % 2) == 1;
+  o.randomDecisionFreq = 0.01 * static_cast<double>(1 + i % 4);
+  o.lubyUnit = std::max(64, opts.base.lubyUnit >> (i % 3));
+  return o;
+}
+
+Result solvePortfolio(const prop::Cnf& cnf, const PortfolioOptions& opts,
+                      PortfolioReport* report) {
+  const unsigned k = std::max(1u, opts.instances);
+  Timer timer;
+
+  // Per-instance state: written only by the owning task, read after join.
+  struct Slot {
+    Result result = Result::Unknown;
+    Stats stats;
+    std::vector<bool> model;
+    Proof proof;
+  };
+  std::vector<Slot> slots(k);
+  std::atomic<bool> cancel{false};
+  std::atomic<int> winner{-1};
+
+  auto runInstance = [&](unsigned i) {
+    Slot& slot = slots[i];
+    Solver solver(portfolioInstanceOptions(opts, i));
+    if (opts.wantProof) solver.setProof(&slot.proof);
+    solver.setCancel(&cancel);
+    solver.ensureVars(cnf.numVars);
+    bool ok = true, aborted = false;
+    for (const auto& c : cnf.clauses) {
+      if (solver.cancelled()) {
+        aborted = true;
+        break;
+      }
+      if (!solver.addClause(c)) {
+        ok = false;
+        break;
+      }
+    }
+    const Result r = aborted ? Result::Unknown
+                   : ok      ? solver.solve(opts.conflictBudget)
+                             : Result::Unsat;
+    slot.stats = solver.stats();
+    if (r == Result::Sat) {
+      slot.model.assign(cnf.numVars + 1, false);
+      for (std::uint32_t v = 1; v <= cnf.numVars; ++v)
+        slot.model[v] = solver.modelValue(v);
+    }
+    slot.result = r;
+    if (r != Result::Unknown) {
+      int expected = -1;
+      if (winner.compare_exchange_strong(expected, static_cast<int>(i)))
+        cancel.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  if (k == 1) {
+    runInstance(0);
+  } else {
+    ThreadPool pool(k);
+    std::vector<std::future<void>> done;
+    done.reserve(k);
+    for (unsigned i = 0; i < k; ++i)
+      done.push_back(pool.submit([&runInstance, i] { runInstance(i); }));
+    for (auto& f : done) f.get();
+  }
+
+  const int w = winner.load();
+  if (report) {
+    report->result = w >= 0 ? slots[static_cast<unsigned>(w)].result
+                            : Result::Unknown;
+    report->winner = w;
+    if (w >= 0) {
+      Slot& ws = slots[static_cast<unsigned>(w)];
+      report->winnerSeed =
+          portfolioInstanceOptions(opts, static_cast<unsigned>(w)).seed;
+      report->winnerStats = ws.stats;
+      report->model = std::move(ws.model);
+      report->proof = std::move(ws.proof);
+    }
+    report->seconds = timer.seconds();
+  }
+  return w >= 0 ? slots[static_cast<unsigned>(w)].result : Result::Unknown;
+}
+
+}  // namespace velev::sat

@@ -25,7 +25,7 @@ std::int64_t luby(std::int64_t x) {
 
 }  // namespace
 
-Solver::Solver(Options opts) : opts_(opts) {
+Solver::Solver(Options opts) : opts_(opts), rng_(opts.seed) {
   conflictsUntilReduce_ = opts_.reduceBase;
 }
 
@@ -33,7 +33,9 @@ void Solver::ensureVars(std::uint32_t numVars) {
   while (nVars_ < numVars) {
     const Var v = static_cast<Var>(nVars_++);
     assigns_.push_back(LBool::Undef);
-    polarity_.push_back(1);  // default phase: negative (UNSAT-friendly)
+    // Default phase: negative (UNSAT-friendly); portfolio instances may
+    // diversify the starting phases instead.
+    polarity_.push_back(opts_.randomInitPhase ? (rng_.coin() ? 1 : 0) : 1);
     level_.push_back(0);
     reason_.push_back(kCRefUndef);
     activity_.push_back(0.0);
@@ -334,6 +336,16 @@ void Solver::backtrack(std::uint32_t btLevel) {
 }
 
 Solver::Lit Solver::pickBranchLit() {
+  // Portfolio diversification: occasionally branch on a random unassigned
+  // variable instead of the VSIDS choice (the variable stays in the heap;
+  // later pops skip it once assigned).
+  if (opts_.randomDecisionFreq > 0 && nVars_ > 0 &&
+      rng_.unit() < opts_.randomDecisionFreq) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const Var v = static_cast<Var>(rng_.below(nVars_));
+      if (assigns_[v] == LBool::Undef) return mkLit(v, polarity_[v] != 0);
+    }
+  }
   while (!heap_.empty()) {
     const Var v = heapPop();
     if (assigns_[v] == LBool::Undef)
@@ -384,6 +396,7 @@ Result Solver::solve(std::int64_t conflictBudget) {
   std::vector<Lit> learnt;
 
   for (;;) {
+    if (cancelled()) return Result::Unknown;
     const CRef conflict = propagate();
     if (conflict != kCRefUndef) {
       ++stats_.conflicts;

@@ -13,12 +13,14 @@
 // maps back to the abstract processor's control signals (a counterexample).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "prop/cnf.hpp"
 #include "sat/drat.hpp"
+#include "support/rng.hpp"
 
 namespace velev::sat {
 
@@ -30,6 +32,12 @@ struct Options {
   int lubyUnit = 512;          // conflicts per restart-unit
   int reduceBase = 2000;       // conflicts before first DB reduction
   int reduceIncrement = 300;   // growth of the reduction interval
+
+  // Diversification knobs for the seed portfolio (sat/portfolio.hpp). The
+  // defaults leave the solver bit-for-bit deterministic, as before.
+  std::uint64_t seed = 0;          // seeds the tie-breaking RNG
+  double randomDecisionFreq = 0;   // P(decision picks a random unassigned var)
+  bool randomInitPhase = false;    // randomize the initial saved phases
 };
 
 struct Stats {
@@ -64,6 +72,15 @@ class Solver {
   /// clauses). On an Unsat result the proof ends with the empty clause and
   /// can be certified with checkRup().
   void setProof(Proof* proof) { proof_ = proof; }
+
+  /// Cooperative cancellation: solve() polls `flag` once per propagation
+  /// round and returns Result::Unknown when it becomes true. The atomic
+  /// must outlive the solve call; pass nullptr to detach. This is how the
+  /// seed portfolio stops the losing solvers after the first verdict.
+  void setCancel(const std::atomic<bool>* flag) { cancel_ = flag; }
+  bool cancelled() const {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
 
   const Stats& stats() const { return stats_; }
 
@@ -162,6 +179,8 @@ class Solver {
   std::int64_t conflictsUntilReduce_ = 0;
   int reduceCount_ = 0;
 
+  Rng rng_;
+  const std::atomic<bool>* cancel_ = nullptr;
   Proof* proof_ = nullptr;
   prop::Clause toDimacs(std::span<const Lit> lits) const;
 };

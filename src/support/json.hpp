@@ -1,0 +1,157 @@
+// Minimal JSON emitter for the machine-readable bench/tool reports
+// (BENCH_<name>.json, velev_verify --json). Write-only by design: the
+// repository consumes these files from external tooling (perf tracking
+// across PRs), never parses them back, so a ~100-line emitter beats a
+// dependency.
+//
+// Usage:
+//   JsonWriter w(os);
+//   w.beginObject();
+//   w.key("bench"); w.value("table2_pe_only");
+//   w.key("cells"); w.beginArray(); ... w.endArray();
+//   w.endObject();
+//
+// The writer inserts commas and newline indentation; keys/values must
+// alternate correctly inside objects (checked).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace velev {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray() { open('['); }
+  void endArray() { close(']'); }
+
+  void key(std::string_view k) {
+    VELEV_CHECK(!stack_.empty() && stack_.back().object);
+    VELEV_CHECK(!stack_.back().keyPending);
+    separate();
+    writeString(k);
+    os_ << ": ";
+    stack_.back().keyPending = true;
+  }
+
+  void value(std::string_view v) {
+    preValue();
+    writeString(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    preValue();
+    os_ << (v ? "true" : "false");
+  }
+  void value(double v) {
+    preValue();
+    // JSON has no NaN/Inf; clamp to null.
+    if (v != v || v > 1e308 || v < -1e308) {
+      os_ << "null";
+      return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    os_ << buf;
+  }
+  void value(std::int64_t v) {
+    preValue();
+    os_ << v;
+  }
+  void value(std::uint64_t v) {
+    preValue();
+    os_ << v;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+
+  template <class T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  struct Frame {
+    bool object = false;
+    bool keyPending = false;
+    bool any = false;
+  };
+
+  void open(char c) {
+    preValue();
+    os_ << c;
+    stack_.push_back({c == '{', false, false});
+  }
+
+  void close(char c) {
+    VELEV_CHECK(!stack_.empty() && !stack_.back().keyPending);
+    const bool any = stack_.back().any;
+    stack_.pop_back();
+    if (any) {
+      os_ << '\n';
+      indent();
+    }
+    os_ << c;
+    if (stack_.empty()) os_ << '\n';
+  }
+
+  // Called before any value (or container opening) is emitted.
+  void preValue() {
+    if (stack_.empty()) return;  // root value
+    if (stack_.back().object) {
+      VELEV_CHECK(stack_.back().keyPending);
+      stack_.back().keyPending = false;
+    } else {
+      separate();
+    }
+  }
+
+  void separate() {
+    if (stack_.back().any) os_ << ',';
+    stack_.back().any = true;
+    os_ << '\n';
+    indent();
+  }
+
+  void indent() {
+    for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+  }
+
+  void writeString(std::string_view s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        case '\r': os_ << "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace velev

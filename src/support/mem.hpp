@@ -1,0 +1,30 @@
+// Process memory introspection for the benchmark JSON reports: the paper's
+// evaluation tracks memory exhaustion as carefully as CPU time (the 4 GB
+// Sun4 ran out of memory on the PE-only flow), so every bench cell records
+// the resident-set high-water mark alongside its wall time.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+
+namespace velev {
+
+/// Peak resident set size of this process in KiB (VmHWM on Linux).
+/// Returns 0 on platforms without /proc. Note this is a process-wide
+/// monotone quantity: in a parallel grid run, a cell's snapshot is an
+/// upper bound contributed to by every cell completed so far.
+inline std::size_t rssHighWaterKb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::size_t kb = 0;
+    for (char ch : line)
+      if (ch >= '0' && ch <= '9') kb = kb * 10 + static_cast<std::size_t>(ch - '0');
+    return kb;
+  }
+  return 0;
+}
+
+}  // namespace velev

@@ -1,0 +1,164 @@
+// End-to-end tests for the `velev_verify` command-line tool: exit codes
+// for correct vs. buggy designs, DIMACS export round-trips through
+// sat::Solver, DRAT proof self-check, and --jobs invariance (parallel
+// verdicts identical to sequential ones). The binary path is injected by
+// CMake as VELEV_VERIFY_BIN.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+
+#include "prop/cnf.hpp"
+#include "sat/solver.hpp"
+
+namespace velev {
+namespace {
+
+struct CliResult {
+  int exitCode = -1;
+  std::string output;  // stdout + stderr
+};
+
+CliResult runCli(const std::string& args) {
+  const std::string cmd = std::string(VELEV_VERIFY_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  CliResult res;
+  char buf[4096];
+  while (pipe && fgets(buf, sizeof buf, pipe) != nullptr) res.output += buf;
+  if (pipe) {
+    const int status = pclose(pipe);
+    res.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+  return res;
+}
+
+std::string tmpPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+// Every per-cell verdict line ("cell NxK: ..."), wall times stripped, for
+// comparing runs that should reach identical verdicts.
+std::string verdictLines(const std::string& output) {
+  std::istringstream is(output);
+  std::string line, out;
+  while (std::getline(is, line)) {
+    if (line.rfind("cell ", 0) != 0) continue;
+    const auto timing = line.find(" (");
+    out += line.substr(0, timing) + "\n";
+  }
+  return out;
+}
+
+TEST(Cli, CorrectDesignExitsZero) {
+  const CliResult r = runCli("--size 4 --width 2 --quiet");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("verdict: CORRECT"), std::string::npos) << r.output;
+}
+
+TEST(Cli, BuggyDesignExitsOne) {
+  const CliResult r = runCli("--size 8 --width 2 --bug fwd:3 --quiet");
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("NON-CONFORMING SLICE 3"), std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, UsageErrorExitsTwo) {
+  EXPECT_EQ(runCli("--no-such-flag").exitCode, 2);
+  EXPECT_EQ(runCli("--size 2 --width 4").exitCode, 2);  // width > size
+  EXPECT_EQ(runCli("--bug nonsense").exitCode, 2);
+  EXPECT_EQ(runCli("--grid 2x4").exitCode, 2);  // impossible cell
+  EXPECT_EQ(runCli("--jobs 0").exitCode, 2);
+}
+
+TEST(Cli, BudgetExhaustionExitsThree) {
+  const CliResult r =
+      runCli("--size 4 --width 4 --strategy pe --budget 1 --quiet");
+  EXPECT_EQ(r.exitCode, 3) << r.output;
+  EXPECT_NE(r.output.find("INCONCLUSIVE"), std::string::npos) << r.output;
+}
+
+TEST(Cli, DimacsExportRoundTripsThroughSolver) {
+  const std::string cnfPath = tmpPath("cli_export.cnf");
+  const CliResult r = runCli("--size 2 --width 1 --strategy pe --dump-cnf " +
+                             cnfPath + " --quiet");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+
+  std::ifstream in(cnfPath);
+  ASSERT_TRUE(in.good());
+  const prop::Cnf cnf = prop::parseDimacs(in);
+  EXPECT_GT(cnf.numVars, 0u);
+  EXPECT_GT(cnf.numClauses(), 0u);
+  // The exported correctness CNF must agree with the in-process verdict:
+  // UNSAT (the design is correct).
+  EXPECT_EQ(sat::solveCnf(cnf), sat::Result::Unsat);
+}
+
+TEST(Cli, ProofIsSelfCheckedOnUnsat) {
+  const std::string proofPath = tmpPath("cli_proof.drat");
+  const CliResult r = runCli("--size 2 --width 1 --strategy pe --proof " +
+                             proofPath + " --quiet");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("self-check PASSED"), std::string::npos) << r.output;
+  std::ifstream in(proofPath);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(Cli, PortfolioProofIsSelfCheckedWithJobs) {
+  const std::string proofPath = tmpPath("cli_proof_jobs.drat");
+  const CliResult r = runCli("--size 2 --width 1 --strategy pe --jobs 3 " +
+                             ("--proof " + proofPath) + " --quiet");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("self-check PASSED"), std::string::npos) << r.output;
+}
+
+TEST(Cli, JobsVerdictsIdenticalToSequential) {
+  const std::string grid = "--grid 'sizes=2,3,4;widths=1,2' --quiet";
+  const CliResult seq = runCli(grid + " --jobs 1");
+  const CliResult par = runCli(grid + " --jobs 3");
+  EXPECT_EQ(seq.exitCode, 0) << seq.output;
+  EXPECT_EQ(par.exitCode, seq.exitCode) << par.output;
+  EXPECT_EQ(verdictLines(par.output), verdictLines(seq.output));
+  EXPECT_NE(verdictLines(seq.output), "");
+}
+
+TEST(Cli, SinglePortfolioVerdictMatchesSequential) {
+  const CliResult seq = runCli("--size 2 --width 2 --strategy pe --quiet");
+  const CliResult par =
+      runCli("--size 2 --width 2 --strategy pe --jobs 4 --quiet");
+  EXPECT_EQ(seq.exitCode, 0) << seq.output;
+  EXPECT_EQ(par.exitCode, 0) << par.output;
+}
+
+TEST(Cli, GridWithInjectedBugExitsOneEverywhere) {
+  const CliResult r = runCli("--grid 4x2,8x2 --bug fwd:2 --jobs 2 --quiet");
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("NON-CONFORMING"), std::string::npos) << r.output;
+}
+
+TEST(Cli, JsonReportIsWrittenAndWellFormed) {
+  const std::string jsonPath = tmpPath("cli_report.json");
+  const CliResult r =
+      runCli("--grid 'sizes=2,3;widths=1' --jobs 2 --json " + jsonPath +
+             " --quiet");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  std::ifstream in(jsonPath);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"tool\": \"velev_verify\""), std::string::npos);
+  EXPECT_NE(json.find("\"mode\": \"grid\""), std::string::npos);
+  EXPECT_NE(json.find("\"rob_size\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\": \"correct\""), std::string::npos);
+  EXPECT_NE(json.find("\"mem_high_water_kb\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace velev

@@ -1,0 +1,96 @@
+// Tests for the parallel grid runner: parallel runs must be
+// observationally identical to sequential runs (same verdicts, same CNF
+// statistics, input order preserved), cancellation must stop queued cells,
+// and makeGrid must drop impossible configurations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/grid_runner.hpp"
+
+namespace velev::core {
+namespace {
+
+TEST(Grid, MakeGridDropsImpossibleCells) {
+  const std::vector<unsigned> sizes = {2, 4};
+  const std::vector<unsigned> widths = {1, 2, 4};
+  const auto cells = makeGrid(sizes, widths);
+  // 2x4 is impossible (width > size): 2x1 2x2 4x1 4x2 4x4 remain.
+  ASSERT_EQ(cells.size(), 5u);
+  EXPECT_EQ(cells[0].robSize, 2u);
+  EXPECT_EQ(cells[0].issueWidth, 1u);
+  EXPECT_EQ(cells.back().robSize, 4u);
+  EXPECT_EQ(cells.back().issueWidth, 4u);
+}
+
+TEST(Grid, ParallelVerdictsIdenticalToSequential) {
+  const std::vector<unsigned> sizes = {2, 3, 4};
+  const std::vector<unsigned> widths = {1, 2};
+  const auto cells = makeGrid(sizes, widths);
+
+  GridOptions seq;
+  seq.jobs = 1;
+  const auto sequential = runGrid(cells, seq);
+
+  GridOptions par;
+  par.jobs = 3;
+  const auto parallel = runGrid(cells, par);
+
+  ASSERT_EQ(sequential.size(), cells.size());
+  ASSERT_EQ(parallel.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    // Input order preserved on both paths.
+    EXPECT_EQ(sequential[i].cell.robSize, cells[i].robSize);
+    EXPECT_EQ(parallel[i].cell.robSize, cells[i].robSize);
+    EXPECT_EQ(parallel[i].cell.issueWidth, cells[i].issueWidth);
+    // Identical verdicts and identical translated formulas.
+    EXPECT_EQ(sequential[i].report.verdict, Verdict::Correct);
+    EXPECT_EQ(parallel[i].report.verdict, sequential[i].report.verdict);
+    EXPECT_EQ(parallel[i].report.evcStats.cnfVars,
+              sequential[i].report.evcStats.cnfVars);
+    EXPECT_EQ(parallel[i].report.evcStats.cnfClauses,
+              sequential[i].report.evcStats.cnfClauses);
+    EXPECT_FALSE(parallel[i].skipped);
+    EXPECT_GT(parallel[i].memHighWaterKb, 0u);
+  }
+}
+
+TEST(Grid, BuggyCellReportsMismatchUnderParallelRun) {
+  std::vector<GridCell> cells = makeGrid(std::vector<unsigned>{4, 8},
+                                         std::vector<unsigned>{2});
+  cells[1].bug.kind = models::BugKind::ForwardingWrongOperand;
+  cells[1].bug.index = 2;
+  GridOptions opts;
+  opts.jobs = 2;
+  const auto results = runGrid(cells, opts);
+  EXPECT_EQ(results[0].report.verdict, Verdict::Correct);
+  EXPECT_EQ(results[1].report.verdict, Verdict::RewriteMismatch);
+  EXPECT_EQ(results[1].report.rewriteFailedSlice, 2u);
+}
+
+TEST(Grid, CancelledBeforeRunSkipsEveryCell) {
+  const auto cells = makeGrid(std::vector<unsigned>{2, 3, 4},
+                              std::vector<unsigned>{1});
+  CancelToken token;
+  token.cancel();
+  for (unsigned jobs : {1u, 2u}) {
+    GridOptions opts;
+    opts.jobs = jobs;
+    const auto results = runGrid(cells, opts, &token);
+    ASSERT_EQ(results.size(), cells.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_TRUE(results[i].skipped) << "jobs " << jobs << " cell " << i;
+      EXPECT_EQ(results[i].cell.robSize, cells[i].robSize);
+      EXPECT_EQ(results[i].report.verdict, Verdict::Inconclusive);
+    }
+  }
+}
+
+TEST(Grid, EmptyGridIsFine) {
+  GridOptions opts;
+  opts.jobs = 4;
+  EXPECT_TRUE(runGrid({}, opts).empty());
+}
+
+}  // namespace
+}  // namespace velev::core

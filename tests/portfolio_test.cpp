@@ -1,0 +1,174 @@
+// Tests for the SAT seed portfolio: the verdict must be independent of the
+// number of racing instances and of the base seed (determinism property),
+// the winner's DRAT proof must certify UNSAT through the RUP checker, and
+// a satisfying model must actually satisfy the formula.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "prop/cnf.hpp"
+#include "sat/drat.hpp"
+#include "sat/portfolio.hpp"
+#include "support/rng.hpp"
+
+namespace velev::sat {
+namespace {
+
+using prop::Clause;
+using prop::Cnf;
+using prop::CnfLit;
+
+// PHP(n+1, n): n+1 pigeons in n holes — small, canonical UNSAT family.
+Cnf pigeonhole(unsigned n) {
+  Cnf cnf;
+  const unsigned pigeons = n + 1;
+  auto var = [&](unsigned p, unsigned h) {
+    return static_cast<CnfLit>(p * n + h + 1);
+  };
+  cnf.numVars = pigeons * n;
+  for (unsigned p = 0; p < pigeons; ++p) {
+    Clause c;
+    for (unsigned h = 0; h < n; ++h) c.push_back(var(p, h));
+    cnf.addClause(c);
+  }
+  for (unsigned h = 0; h < n; ++h)
+    for (unsigned p1 = 0; p1 < pigeons; ++p1)
+      for (unsigned p2 = p1 + 1; p2 < pigeons; ++p2)
+        cnf.addClause({-var(p1, h), -var(p2, h)});
+  return cnf;
+}
+
+Cnf randomCnf(Rng& rng, unsigned vars, unsigned clauses, unsigned maxLen) {
+  Cnf cnf;
+  cnf.numVars = vars;
+  for (unsigned i = 0; i < clauses; ++i) {
+    Clause c;
+    const unsigned len = 1 + rng.below(maxLen);
+    for (unsigned j = 0; j < len; ++j) {
+      const int v = 1 + static_cast<int>(rng.below(vars));
+      c.push_back(rng.coin() ? v : -v);
+    }
+    cnf.addClause(c);
+  }
+  return cnf;
+}
+
+TEST(Portfolio, InstanceZeroIsTheBaseline) {
+  PortfolioOptions popts;
+  popts.base.lubyUnit = 123;
+  const Options o = portfolioInstanceOptions(popts, 0);
+  EXPECT_EQ(o.seed, popts.base.seed);
+  EXPECT_EQ(o.lubyUnit, 123);
+  EXPECT_EQ(o.randomDecisionFreq, 0.0);
+  EXPECT_FALSE(o.randomInitPhase);
+}
+
+TEST(Portfolio, InstancesAreDiversified) {
+  PortfolioOptions popts;
+  const Options a = portfolioInstanceOptions(popts, 1);
+  const Options b = portfolioInstanceOptions(popts, 2);
+  EXPECT_NE(a.seed, b.seed);
+  EXPECT_GT(a.randomDecisionFreq, 0.0);
+}
+
+// Determinism property: same CNF, any instance count, any base seed ->
+// the same SAT/UNSAT verdict, and on UNSAT the winner's proof passes the
+// built-in RUP checker.
+class PortfolioDeterminism
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PortfolioDeterminism, VerdictIsSeedAndThreadCountInvariant) {
+  const auto [seedIdx, instances] = GetParam();
+  PortfolioOptions popts;
+  popts.instances = static_cast<unsigned>(instances);
+  popts.baseSeed = 0x1234567ULL * static_cast<unsigned>(seedIdx + 1);
+  popts.wantProof = true;
+
+  {
+    const Cnf unsat = pigeonhole(4);
+    PortfolioReport rep;
+    EXPECT_EQ(solvePortfolio(unsat, popts, &rep), Result::Unsat);
+    EXPECT_EQ(rep.result, Result::Unsat);
+    EXPECT_GE(rep.winner, 0);
+    EXPECT_TRUE(rep.proof.endsWithEmptyClause());
+    EXPECT_TRUE(checkRup(unsat, rep.proof))
+        << "winner " << rep.winner << " seed " << rep.winnerSeed;
+  }
+  {
+    // Satisfiable: a chain 1 -> 2 -> ... -> 9 plus a free variable.
+    Cnf sat;
+    sat.numVars = 10;
+    sat.addClause({1});
+    for (int v = 1; v < 9; ++v) sat.addClause({-v, v + 1});
+    PortfolioReport rep;
+    EXPECT_EQ(solvePortfolio(sat, popts, &rep), Result::Sat);
+    ASSERT_EQ(rep.model.size(), sat.numVars + 1);
+    for (const auto& c : sat.clauses) {
+      bool satisfied = false;
+      for (CnfLit l : c)
+        satisfied |= (l > 0) == rep.model[static_cast<unsigned>(std::abs(l))];
+      EXPECT_TRUE(satisfied);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsByThreads, PortfolioDeterminism,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Values(1, 2, 3, 4)));
+
+TEST(Portfolio, AgreesWithSequentialSolverOnRandomCnfs) {
+  Rng rng(2026);
+  PortfolioOptions popts;
+  popts.instances = 3;
+  for (int iter = 0; iter < 40; ++iter) {
+    const Cnf cnf = randomCnf(rng, 4 + rng.below(9), 2 + rng.below(45), 4);
+    const Result sequential = solveCnf(cnf);
+    EXPECT_EQ(solvePortfolio(cnf, popts), sequential) << "iter " << iter;
+  }
+}
+
+TEST(Portfolio, BudgetExhaustionEverywhereReturnsUnknown) {
+  Rng rng(7);
+  const Cnf cnf = randomCnf(rng, 60, 256, 3);
+  PortfolioOptions popts;
+  popts.instances = 3;
+  popts.conflictBudget = 1;
+  PortfolioReport rep;
+  const Result r = solvePortfolio(cnf, popts, &rep);
+  if (r == Result::Unknown) {
+    EXPECT_EQ(rep.winner, -1);
+  } else {
+    // A 1-conflict budget can still decide trivially; then a winner exists.
+    EXPECT_GE(rep.winner, 0);
+  }
+}
+
+TEST(Portfolio, SingleInstanceMatchesSolveCnfExactly) {
+  // With instances=1 the portfolio is the sequential solver: same verdict
+  // and same conflict count (bit-for-bit deterministic baseline).
+  const Cnf cnf = pigeonhole(4);
+  Stats seq;
+  EXPECT_EQ(solveCnf(cnf, nullptr, &seq), Result::Unsat);
+  PortfolioOptions popts;
+  popts.instances = 1;
+  PortfolioReport rep;
+  EXPECT_EQ(solvePortfolio(cnf, popts, &rep), Result::Unsat);
+  EXPECT_EQ(rep.winner, 0);
+  EXPECT_EQ(rep.winnerStats.conflicts, seq.conflicts);
+  EXPECT_EQ(rep.winnerStats.decisions, seq.decisions);
+}
+
+TEST(Portfolio, EmptyClauseIsUnsatWithProof) {
+  Cnf cnf;
+  cnf.numVars = 1;
+  cnf.addClause({});
+  PortfolioOptions popts;
+  popts.instances = 2;
+  popts.wantProof = true;
+  PortfolioReport rep;
+  EXPECT_EQ(solvePortfolio(cnf, popts, &rep), Result::Unsat);
+  EXPECT_TRUE(checkRup(cnf, rep.proof));
+}
+
+}  // namespace
+}  // namespace velev::sat

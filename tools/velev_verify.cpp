@@ -4,10 +4,19 @@
 //   $ velev_verify --size 128 --width 4 --bug fwd:72
 //   $ velev_verify --size 4 --width 2 --strategy pe --dump-cnf out.cnf
 //   $ velev_verify --size 2 --width 1 --strategy pe --proof out.drat
+//   $ velev_verify --size 4 --width 4 --strategy pe --jobs 4
+//   $ velev_verify --grid "sizes=16,32,64;widths=1,2,4" --jobs 8 --json g.json
 //
 // Options:
 //   --size N          ROB size (default 8)
 //   --width K         issue/retire width (default 2)
+//   --grid SPEC       verify a whole grid instead of one configuration.
+//                     SPEC is either "sizes=A,B,..;widths=X,Y,.." (cross
+//                     product, cells with width > size dropped) or an
+//                     explicit cell list "NxK,NxK,..."
+//   --jobs N          parallelism (default 1). Grid mode: worker threads,
+//                     one (N, k) cell per task. Single mode: SAT seed
+//                     portfolio of N racing solver instances.
 //   --strategy S      rewrite (default) | pe
 //   --bug KIND:SLICE  inject a defect: fwd | stale | retire | alu |
 //                     completion, at the given 1-based slice
@@ -15,21 +24,29 @@
 //   --no-coi          disable the cone-of-influence simulator optimization
 //   --dump-cnf FILE   write the correctness CNF in DIMACS format
 //   --proof FILE      log a DRAT proof and self-check it on UNSAT
-//   --quiet           print only the verdict line
+//   --json FILE       write a machine-readable report (same schema as the
+//                     benches' BENCH_<name>.json)
+//   --quiet           print only the verdict line(s)
 //
 // Exit code: 0 correct, 1 bug found / mismatch, 2 usage error,
-//            3 inconclusive (budget).
+//            3 inconclusive (budget). Grid mode aggregates: any bug -> 1,
+//            else any inconclusive/skipped -> 3, else 0.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/diagram.hpp"
+#include "core/grid_runner.hpp"
 #include "evc/translate.hpp"
 #include "models/spec.hpp"
 #include "rewrite/engine.hpp"
 #include "sat/drat.hpp"
+#include "sat/portfolio.hpp"
 #include "sat/solver.hpp"
+#include "support/json.hpp"
+#include "support/mem.hpp"
 #include "support/timer.hpp"
 
 using namespace velev;
@@ -52,15 +69,147 @@ models::BugKind parseBugKind(const std::string& s) {
   usage(("unknown bug kind: " + s).c_str());
 }
 
+std::vector<unsigned> parseUnsignedList(const std::string& s) {
+  std::vector<unsigned> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(s.c_str() + pos, &end, 10);
+    if (end == s.c_str() + pos) usage(("bad number in list: " + s).c_str());
+    out.push_back(static_cast<unsigned>(v));
+    pos = static_cast<std::size_t>(end - s.c_str());
+    if (pos < s.size() && s[pos] == ',') ++pos;
+  }
+  return out;
+}
+
+std::vector<core::GridCell> parseGridSpec(const std::string& spec) {
+  if (spec.find('=') != std::string::npos) {
+    // "sizes=A,B,..;widths=X,Y,.."
+    std::vector<unsigned> sizes, widths;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      const std::size_t semi = spec.find(';', pos);
+      const std::string part =
+          spec.substr(pos, semi == std::string::npos ? semi : semi - pos);
+      const std::size_t eq = part.find('=');
+      if (eq == std::string::npos) usage("--grid expects key=value parts");
+      const std::string key = part.substr(0, eq);
+      if (key == "sizes") sizes = parseUnsignedList(part.substr(eq + 1));
+      else if (key == "widths") widths = parseUnsignedList(part.substr(eq + 1));
+      else usage(("unknown --grid key: " + key).c_str());
+      if (semi == std::string::npos) break;
+      pos = semi + 1;
+    }
+    if (sizes.empty() || widths.empty())
+      usage("--grid needs both sizes= and widths=");
+    return core::makeGrid(sizes, widths);
+  }
+  // "NxK,NxK,..."
+  std::vector<core::GridCell> cells;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string part =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const std::size_t x = part.find('x');
+    if (x == std::string::npos) usage("--grid cells must look like NxK");
+    core::GridCell c;
+    c.robSize = static_cast<unsigned>(std::atoi(part.c_str()));
+    c.issueWidth = static_cast<unsigned>(std::atoi(part.c_str() + x + 1));
+    if (c.issueWidth < 1 || c.issueWidth > c.robSize)
+      usage(("impossible cell (need 1 <= width <= size): " + part).c_str());
+    cells.push_back(c);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (cells.empty()) usage("--grid spec is empty");
+  return cells;
+}
+
+void writeJsonReport(const char* path, const char* mode, unsigned jobs,
+                     const std::vector<core::GridCellResult>& results,
+                     double totalSeconds) {
+  std::ofstream os(path);
+  JsonWriter w(os);
+  w.beginObject();
+  w.kv("tool", "velev_verify");
+  w.kv("mode", mode);
+  w.kv("jobs", jobs);
+  w.key("cells");
+  w.beginArray();
+  for (const auto& r : results) {
+    w.beginObject();
+    w.kv("rob_size", r.cell.robSize);
+    w.kv("width", r.cell.issueWidth);
+    w.kv("verdict", r.skipped ? "skipped" : verdictName(r.report.verdict));
+    w.kv("wall_seconds", r.wallSeconds);
+    w.kv("sat_conflicts", r.report.satStats.conflicts);
+    w.kv("mem_high_water_kb", r.memHighWaterKb);
+    w.endObject();
+  }
+  w.endArray();
+  w.kv("total_wall_seconds", totalSeconds);
+  w.endObject();
+}
+
+int runGridMode(const std::vector<core::GridCell>& cells,
+                const core::GridOptions& gopts, const char* jsonPath,
+                bool quiet) {
+  Timer total;
+  const std::vector<core::GridCellResult> results =
+      core::runGrid(cells, gopts);
+  const double totalSec = total.seconds();
+  bool anyBug = false, anyInconclusive = false;
+  for (const auto& r : results) {
+    if (r.skipped) {
+      anyInconclusive = true;
+      std::printf("cell %ux%u: SKIPPED\n", r.cell.robSize, r.cell.issueWidth);
+      continue;
+    }
+    switch (r.report.verdict) {
+      case core::Verdict::Correct:
+        std::printf("cell %ux%u: CORRECT (%.3f s)\n", r.cell.robSize,
+                    r.cell.issueWidth, r.wallSeconds);
+        break;
+      case core::Verdict::CounterexampleFound:
+        anyBug = true;
+        std::printf("cell %ux%u: COUNTEREXAMPLE FOUND (%.3f s)\n",
+                    r.cell.robSize, r.cell.issueWidth, r.wallSeconds);
+        break;
+      case core::Verdict::RewriteMismatch:
+        anyBug = true;
+        std::printf("cell %ux%u: NON-CONFORMING SLICE %u (%s)\n",
+                    r.cell.robSize, r.cell.issueWidth,
+                    r.report.rewriteFailedSlice,
+                    r.report.rewriteMessage.c_str());
+        break;
+      case core::Verdict::Inconclusive:
+        anyInconclusive = true;
+        std::printf("cell %ux%u: INCONCLUSIVE (%.3f s)\n", r.cell.robSize,
+                    r.cell.issueWidth, r.wallSeconds);
+        break;
+    }
+  }
+  if (!quiet)
+    std::printf("grid: %zu cells in %.3f s with %u jobs\n", results.size(),
+                totalSec, gopts.jobs);
+  if (jsonPath)
+    writeJsonReport(jsonPath, "grid", gopts.jobs, results, totalSec);
+  return anyBug ? 1 : anyInconclusive ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  unsigned size = 8, width = 2;
+  unsigned size = 8, width = 2, jobs = 1;
   bool peOnly = false, quiet = false, coi = true;
   std::int64_t budget = -1;
   models::BugSpec bug;
   const char* dumpCnf = nullptr;
   const char* proofPath = nullptr;
+  const char* jsonPath = nullptr;
+  const char* gridSpec = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -70,6 +219,10 @@ int main(int argc, char** argv) {
     };
     if (a == "--size") size = std::atoi(next());
     else if (a == "--width") width = std::atoi(next());
+    else if (a == "--jobs") {
+      jobs = std::atoi(next());
+      if (jobs < 1) usage("--jobs must be >= 1");
+    } else if (a == "--grid") gridSpec = next();
     else if (a == "--strategy") {
       const std::string s = next();
       if (s == "pe") peOnly = true;
@@ -85,13 +238,31 @@ int main(int argc, char** argv) {
     else if (a == "--no-coi") coi = false;
     else if (a == "--dump-cnf") dumpCnf = next();
     else if (a == "--proof") proofPath = next();
+    else if (a == "--json") jsonPath = next();
     else if (a == "--quiet") quiet = true;
     else usage(("unknown option: " + a).c_str());
   }
-  if (width < 1 || width > size) usage("need 1 <= width <= size");
 
   try {
+  if (gridSpec) {
+    if (dumpCnf || proofPath)
+      usage("--dump-cnf/--proof apply to single-configuration runs only");
+    core::GridOptions gopts;
+    gopts.jobs = jobs;
+    gopts.verify.strategy = peOnly
+        ? core::Strategy::PositiveEqualityOnly
+        : core::Strategy::RewritingPlusPositiveEquality;
+    gopts.verify.satConflictBudget = budget;
+    gopts.verify.sim.coneOfInfluence = coi;
+    std::vector<core::GridCell> cells = parseGridSpec(gridSpec);
+    for (core::GridCell& c : cells) c.bug = bug;
+    return runGridMode(cells, gopts, jsonPath, quiet);
+  }
+
+  if (width < 1 || width > size) usage("need 1 <= width <= size");
+
   // Build + simulate.
+  Timer total;
   eufm::Context cx;
   const models::Isa isa = models::Isa::declare(cx);
   const models::OoOConfig cfg{size, width};
@@ -109,6 +280,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     d.implSimStats.signalEvals + d.flushSimStats.signalEvals));
 
+  // Collected for --json (single-cell report reuses the grid schema).
+  core::GridCellResult cellOut;
+  cellOut.cell = core::GridCell{size, width, bug};
+  auto finishJson = [&](core::Verdict v) {
+    if (!jsonPath) return;
+    cellOut.report.verdict = v;
+    cellOut.wallSeconds = total.seconds();
+    cellOut.memHighWaterKb = rssHighWaterKb();
+    writeJsonReport(jsonPath, "single", jobs, {cellOut}, total.seconds());
+  };
+
   // Rewriting rules (unless PE-only).
   eufm::Expr correctness = d.correctness;
   evc::TranslateOptions topts;
@@ -119,6 +301,9 @@ int main(int argc, char** argv) {
     if (!rw.ok) {
       std::printf("verdict: NON-CONFORMING SLICE %u (%s) after %.3f s\n",
                   rw.failedSlice, rw.message.c_str(), t.seconds());
+      cellOut.report.rewriteFailedSlice = rw.failedSlice;
+      cellOut.report.rewriteMessage = rw.message;
+      finishJson(core::Verdict::RewriteMismatch);
       return 1;
     }
     if (!quiet)
@@ -146,30 +331,42 @@ int main(int argc, char** argv) {
     if (!quiet) std::printf("wrote DIMACS to %s\n", dumpCnf);
   }
 
-  // Solve.
-  sat::Proof proof;
+  // Solve — with a seed portfolio of `jobs` racing instances when jobs > 1.
+  sat::PortfolioOptions popts;
+  popts.instances = jobs;
+  popts.conflictBudget = budget;
+  popts.wantProof = proofPath != nullptr;
+  sat::PortfolioReport prep;
   t.reset();
-  const sat::Result r = sat::solveCnf(tr.cnf, nullptr, nullptr, budget,
-                                      proofPath ? &proof : nullptr);
+  const sat::Result r = sat::solvePortfolio(tr.cnf, popts, &prep);
   const double satSec = t.seconds();
+  cellOut.report.satStats = prep.winnerStats;
+  if (!quiet && jobs > 1)
+    std::printf("portfolio: %u instances, instance %d (seed %llu) won\n",
+                jobs, prep.winner,
+                static_cast<unsigned long long>(prep.winnerSeed));
   switch (r) {
     case sat::Result::Unsat:
       if (proofPath) {
-        const bool certified = sat::checkRup(tr.cnf, proof);
+        const bool certified = sat::checkRup(tr.cnf, prep.proof);
         std::ofstream out(proofPath);
-        sat::writeDrat(proof, out);
+        sat::writeDrat(prep.proof, out);
         std::printf("proof: %zu steps, self-check %s, written to %s\n",
-                    proof.size(), certified ? "PASSED" : "FAILED", proofPath);
+                    prep.proof.size(), certified ? "PASSED" : "FAILED",
+                    proofPath);
         if (!certified) return 2;
       }
       std::printf("verdict: CORRECT (UNSAT in %.3f s)\n", satSec);
+      finishJson(core::Verdict::Correct);
       return 0;
     case sat::Result::Sat:
       std::printf("verdict: COUNTEREXAMPLE FOUND (SAT in %.3f s)\n", satSec);
+      finishJson(core::Verdict::CounterexampleFound);
       return 1;
     default:
       std::printf("verdict: INCONCLUSIVE (budget exhausted after %.3f s)\n",
                   satSec);
+      finishJson(core::Verdict::Inconclusive);
       return 3;
   }
   } catch (const InternalError& e) {
