@@ -95,16 +95,16 @@ int main() {
          {evc::UfScheme::NestedIte, evc::UfScheme::Ackermann}) {
       core::VerifyOptions opts;
       opts.ufScheme = scheme;
-      opts.satConflictBudget = budget;
+      opts.budget.satConflicts = budget;
       const core::VerifyReport rep = core::verify({c.n, c.k}, {}, opts);
       std::printf("%4u %2u | %-10s | %8u | %9zu | %10zu | %9.2f | %9s\n",
                   c.n, c.k,
                   scheme == evc::UfScheme::NestedIte ? "nested-ITE"
                                                      : "Ackermann",
                   rep.evcStats.eijVars, rep.evcStats.cnfVars,
-                  rep.evcStats.cnfClauses, rep.satSeconds,
-                  rep.verdict == core::Verdict::Correct ? "correct"
-                  : rep.verdict == core::Verdict::Inconclusive
+                  rep.evcStats.cnfClauses, rep.satSeconds(),
+                  rep.verdict() == core::Verdict::Correct ? "correct"
+                  : rep.verdict() == core::Verdict::Inconclusive
                       ? ">budget"
                       : "PROBLEM");
     }

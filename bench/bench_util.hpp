@@ -40,22 +40,54 @@ inline unsigned parseJobs(int argc, char** argv, unsigned fallback = 1) {
   return jobs < 1 ? 1 : jobs;
 }
 
+inline double envDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' ? std::atof(v) : fallback;
+}
+
+/// Per-cell resource budget for the benches, from the environment:
+///   REPRO_TIMEOUT_SECS   wall-clock seconds per cell (<= 0: unlimited)
+///   REPRO_MEM_BUDGET_MB  logical-arena MiB per cell (<= 0: unlimited)
+///   REPRO_SAT_BUDGET     SAT conflicts per cell (< 0: unlimited)
+/// Over-budget cells record a timeout/memout verdict in the table and the
+/// JSON instead of hanging the sweep or getting the process OOM-killed —
+/// the bench analogue of the paper's "out of memory" table entries.
+inline ResourceBudget parseBudget(double timeoutSecs, double memBudgetMb,
+                                  std::int64_t satConflicts) {
+  ResourceBudget b;
+  b.wallSeconds = envDouble("REPRO_TIMEOUT_SECS", timeoutSecs);
+  const double mb = envDouble("REPRO_MEM_BUDGET_MB", memBudgetMb);
+  b.memoryBytes = mb > 0 ? static_cast<std::size_t>(mb * 1024 * 1024) : 0;
+  if (const char* env = std::getenv("REPRO_SAT_BUDGET"); env && env[0] != '\0')
+    b.satConflicts = std::atoll(env);
+  else
+    b.satConflicts = satConflicts;
+  return b;
+}
+
 // ---- machine-readable bench output ----------------------------------------
 // Every bench writes BENCH_<name>.json next to its table so the perf
 // trajectory is trackable across PRs. Schema (documented in EXPERIMENTS.md):
 //   { "bench": str, "jobs": uint, "cells": [ { "rob_size": uint,
-//     "width": uint, "label": str, "verdict": str, "wall_seconds": num,
-//     "sat_conflicts": uint, "mem_high_water_kb": uint } ... ],
-//     "notes": { str: num ... }, "total_wall_seconds": num }
+//     "width": uint, "label": str, "verdict": str, "reason": str,
+//     "wall_seconds": num, "sat_conflicts": uint, "peak_arena_bytes": uint,
+//     "mem_high_water_kb": uint, "fell_back": bool, "first_verdict": str }
+//     ... ], "notes": { str: num ... }, "total_wall_seconds": num }
+// "reason"/"fell_back"/"first_verdict" are present only when meaningful;
+// "verdict" includes the budget verdicts "timeout" and "memout".
 
 struct JsonCell {
   unsigned robSize = 0;
   unsigned issueWidth = 0;
   std::string label;        // e.g. strategy or phase; may be empty
   std::string verdict;      // core::verdictName() or bench-specific
+  std::string reason;       // budget-trip / mismatch text; may be empty
   double wallSeconds = 0;
   std::uint64_t satConflicts = 0;
+  std::size_t peakArenaBytes = 0;
   std::size_t memHighWaterKb = 0;
+  bool fellBack = false;
+  std::string firstVerdict;  // pre-fallback verdict when fellBack
 };
 
 class JsonReport {
@@ -70,10 +102,14 @@ class JsonReport {
     c.robSize = r.cell.robSize;
     c.issueWidth = r.cell.issueWidth;
     c.label = std::move(label);
-    c.verdict = r.skipped ? "skipped" : core::verdictName(r.report.verdict);
+    c.verdict = core::verdictName(r.report.verdict());
+    c.reason = r.report.outcome.reason;
     c.wallSeconds = r.wallSeconds;
     c.satConflicts = r.report.satStats.conflicts;
+    c.peakArenaBytes = r.report.outcome.peakArenaBytes;
     c.memHighWaterKb = r.memHighWaterKb;
+    c.fellBack = r.fellBack;
+    if (r.fellBack) c.firstVerdict = core::verdictName(r.firstVerdict);
     cells_.push_back(std::move(c));
   }
 
@@ -98,9 +134,15 @@ class JsonReport {
       w.kv("width", c.issueWidth);
       if (!c.label.empty()) w.kv("label", c.label);
       w.kv("verdict", c.verdict);
+      if (!c.reason.empty()) w.kv("reason", c.reason);
       w.kv("wall_seconds", c.wallSeconds);
       w.kv("sat_conflicts", c.satConflicts);
+      w.kv("peak_arena_bytes", static_cast<std::uint64_t>(c.peakArenaBytes));
       w.kv("mem_high_water_kb", static_cast<std::uint64_t>(c.memHighWaterKb));
+      if (c.fellBack) {
+        w.kv("fell_back", true);
+        w.kv("first_verdict", c.firstVerdict);
+      }
       w.endObject();
     }
     w.endArray();

@@ -25,14 +25,14 @@ void runCase(const char* label, const models::OoOConfig& cfg,
   Timer t;
   const core::VerifyReport rep = core::verify(cfg, bug, opts);
   const double total = t.seconds();
-  if (rep.verdict == core::Verdict::RewriteMismatch) {
+  if (rep.verdict() == core::Verdict::RewriteMismatch) {
     std::printf("%-34s detected at slice %3u in %6.3f s  (%s)\n", label,
-                rep.rewriteFailedSlice, total, rep.rewriteMessage.c_str());
-  } else if (rep.verdict == core::Verdict::Correct) {
+                rep.outcome.failedSlice, total, rep.outcome.reason.c_str());
+  } else if (rep.verdict() == core::Verdict::Correct) {
     std::printf("%-34s verified correct in %6.3f s\n", label, total);
   } else {
-    std::printf("%-34s verdict=%d in %6.3f s\n", label,
-                static_cast<int>(rep.verdict), total);
+    std::printf("%-34s verdict=%s in %6.3f s\n", label,
+                core::verdictName(rep.verdict()), total);
   }
 }
 

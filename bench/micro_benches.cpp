@@ -141,7 +141,7 @@ void BM_EndToEndVerify(benchmark::State& state) {
   const unsigned n = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {
     const core::VerifyReport rep = core::verify({n, 4});
-    benchmark::DoNotOptimize(rep.verdict);
+    benchmark::DoNotOptimize(rep.outcome.verdict);
   }
 }
 BENCHMARK(BM_EndToEndVerify)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);

@@ -32,10 +32,10 @@ double runStrategy(const models::OoOConfig& cfg, core::Strategy strategy,
                    core::VerifyReport* out = nullptr) {
   core::VerifyOptions opts;
   opts.strategy = strategy;
-  opts.satConflictBudget = budget;
+  opts.budget.satConflicts = budget;
   Timer t;
   const core::VerifyReport rep = core::verify(cfg, {}, opts);
-  *completed = rep.verdict == core::Verdict::Correct;
+  *completed = rep.verdict() == core::Verdict::Correct;
   if (out) *out = rep;
   return t.seconds();
 }
@@ -63,18 +63,36 @@ int main(int argc, char** argv) {
   std::printf(
       "rewriting + Positive Equality : %8.3f s  (%s; sim %.3f, rewrite "
       "%.3f, translate %.3f, SAT %.3f)\n",
-      rwTime, rwOk ? "correct" : "PROBLEM", rwRep.simSeconds,
-      rwRep.rewriteSeconds, rwRep.translateSeconds, rwRep.satSeconds);
-  json.add(bench::JsonCell{cfg.robSize, cfg.issueWidth, "headline-rewrite",
-                           rwOk ? "correct" : "PROBLEM", rwTime,
-                           rwRep.satStats.conflicts, rssHighWaterKb()});
+      rwTime, rwOk ? "correct" : "PROBLEM", rwRep.simSeconds(),
+      rwRep.rewriteSeconds(), rwRep.translateSeconds(), rwRep.satSeconds());
+  {
+    bench::JsonCell jc;
+    jc.robSize = cfg.robSize;
+    jc.issueWidth = cfg.issueWidth;
+    jc.label = "headline-rewrite";
+    jc.verdict = rwOk ? "correct" : "PROBLEM";
+    jc.wallSeconds = rwTime;
+    jc.satConflicts = rwRep.satStats.conflicts;
+    jc.peakArenaBytes = rwRep.outcome.peakArenaBytes;
+    jc.memHighWaterKb = rssHighWaterKb();
+    json.add(std::move(jc));
+  }
 
   core::VerifyReport peRep;
   const double peTime = runStrategy(cfg, core::Strategy::PositiveEqualityOnly,
                                     budget, &peOk, &peRep);
-  json.add(bench::JsonCell{cfg.robSize, cfg.issueWidth, "headline-pe-only",
-                           peOk ? "correct" : "budget-exhausted", peTime,
-                           peRep.satStats.conflicts, rssHighWaterKb()});
+  {
+    bench::JsonCell jc;
+    jc.robSize = cfg.robSize;
+    jc.issueWidth = cfg.issueWidth;
+    jc.label = "headline-pe-only";
+    jc.verdict = peOk ? "correct" : "budget-exhausted";
+    jc.wallSeconds = peTime;
+    jc.satConflicts = peRep.satStats.conflicts;
+    jc.peakArenaBytes = peRep.outcome.peakArenaBytes;
+    jc.memHighWaterKb = rssHighWaterKb();
+    json.add(std::move(jc));
+  }
   if (peOk) {
     std::printf("Positive Equality only        : %8.3f s  (correct)\n",
                 peTime);
@@ -119,7 +137,7 @@ int main(int argc, char** argv) {
 
   bool verdictsMatch = true;
   for (std::size_t i = 0; i < cells.size(); ++i)
-    verdictsMatch &= seq[i].report.verdict == par[i].report.verdict;
+    verdictsMatch &= seq[i].report.verdict() == par[i].report.verdict();
 
   std::printf(
       "\nParallel grid runner (%zu cells, rewriting strategy, sizes up to "

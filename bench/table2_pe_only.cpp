@@ -4,13 +4,16 @@
 //
 // The paper's finding reproduces as a shape: the time explodes with the ROB
 // size (their 336 MHz machine: 3 orders of magnitude from 4 to 8 entries;
-// 16 entries ran out of the 4 GB of memory after >18,000 s). We run the
-// small sizes to completion and report a lower bound (">T") when the
-// per-cell conflict budget is exhausted, which plays the role of the
-// paper's ">18,000 (Out of Memory)" entries.
+// 16 entries ran out of the 4 GB of memory after >18,000 s). Every cell
+// runs under a per-cell ResourceBudget, so the sweep now includes N=16 by
+// default: the blowup cells degrade into "mem-out"/"t/o" table entries —
+// the literal analogue of the paper's ">18,000 (Out of Memory)" — instead
+// of hanging the sweep or OOM-killing the process. ">T" still marks a cell
+// that merely exhausted its SAT conflict budget.
 //
 // The grid cells are independent; `--jobs N` (or REPRO_JOBS) fans them out
-// on the parallel grid runner. Machine-readable results land in
+// on the parallel grid runner. Budgets come from REPRO_TIMEOUT_SECS /
+// REPRO_MEM_BUDGET_MB / REPRO_SAT_BUDGET. Machine-readable results land in
 // BENCH_table2_pe_only.json.
 #include <cstdio>
 #include <string>
@@ -23,30 +26,33 @@ using namespace velev;
 int main(int argc, char** argv) {
   setvbuf(stdout, nullptr, _IONBF, 0);
   const unsigned jobs = bench::parseJobs(argc, argv);
-  std::vector<unsigned> sizes = {2, 3, 4};
+  // N=16 is the paper's out-of-memory row and runs in the DEFAULT sweep —
+  // the budget makes that safe. N=8 completes but is slow, so it stays
+  // behind REPRO_FULL.
+  std::vector<unsigned> sizes = {2, 3, 4, 16};
   std::vector<unsigned> widths = {1, 2, 4};
   if (bench::fullScale()) {
-    sizes.push_back(8);
+    sizes.insert(sizes.begin() + 3, 8);
     widths.push_back(8);
   }
-  const char* budgetEnv = std::getenv("REPRO_SAT_BUDGET");
-  const std::int64_t budget =
-      budgetEnv ? std::atoll(budgetEnv) : 1500000;  // conflicts per cell
+  const ResourceBudget budget =
+      bench::parseBudget(/*timeoutSecs=*/300, /*memBudgetMb=*/1024,
+                         /*satConflicts=*/1500000);
 
   bench::JsonReport json("table2_pe_only", jobs);
   core::GridOptions gopts;
   gopts.jobs = jobs;
   gopts.verify.strategy = core::Strategy::PositiveEqualityOnly;
-  gopts.verify.satConflictBudget = budget;
+  gopts.verify.budget = budget;
   const std::vector<core::GridCell> cells = core::makeGrid(sizes, widths);
   const std::vector<core::GridCellResult> results =
       core::runGrid(cells, gopts);
 
   bench::printHeader(
       "Table 2: SAT-checking time [s] for correctness, Positive Equality "
-      "ONLY\n(rows: ROB size; columns: issue/retire width; '>' = conflict "
-      "budget exhausted,\nthe analogue of the paper's 'Out of Memory' "
-      "entries)",
+      "ONLY\n(rows: ROB size; columns: issue/retire width; 'mem-out'/'t/o' "
+      "= memory/wall\nbudget exhausted — the paper's 'Out of Memory' "
+      "entries; '>' = SAT conflict\nbudget exhausted)",
       "size\\width", widths);
   std::size_t idx = 0;  // results follow makeGrid's (sizes × widths) order
   for (unsigned n : sizes) {
@@ -59,23 +65,39 @@ int main(int argc, char** argv) {
       const core::GridCellResult& r = results[idx++];
       json.add(r, "pe-only");
       const core::VerifyReport& rep = r.report;
-      if (rep.verdict == core::Verdict::Correct) {
-        bench::printCell(rep.satSeconds);
-      } else if (rep.verdict == core::Verdict::Inconclusive) {
-        char buf[32];
-        std::snprintf(buf, sizeof buf, ">%.0f", rep.satSeconds);
-        bench::printCellText(buf);
-      } else {
-        bench::printCellText("BUG?");
+      switch (rep.verdict()) {
+        case core::Verdict::Correct:
+          bench::printCell(rep.satSeconds());
+          break;
+        case core::Verdict::Inconclusive: {
+          char buf[32];
+          std::snprintf(buf, sizeof buf, ">%.0f", rep.satSeconds());
+          bench::printCellText(buf);
+          break;
+        }
+        case core::Verdict::MemOut:
+          bench::printCellText("mem-out");
+          break;
+        case core::Verdict::Timeout:
+          bench::printCellText("t/o");
+          break;
+        default:
+          bench::printCellText("BUG?");
+          break;
       }
     }
     bench::endRow();
   }
   std::printf(
-      "\n(per-cell SAT conflict budget: %lld; override with "
+      "\n(per-cell budget: %.0f s wall, %zu MiB arena, %lld SAT conflicts; "
+      "override with\nREPRO_TIMEOUT_SECS / REPRO_MEM_BUDGET_MB / "
       "REPRO_SAT_BUDGET; %u jobs)\n",
-      static_cast<long long>(budget), jobs);
-  json.note("conflict_budget", static_cast<double>(budget));
+      budget.wallSeconds, budget.memoryBytes / (1024 * 1024),
+      static_cast<long long>(budget.satConflicts), jobs);
+  json.note("conflict_budget", static_cast<double>(budget.satConflicts));
+  json.note("timeout_seconds", budget.wallSeconds);
+  json.note("mem_budget_mb",
+            static_cast<double>(budget.memoryBytes) / (1024 * 1024));
   json.write();
   return 0;
 }

@@ -43,10 +43,11 @@ int main(int argc, char** argv) {
       }
       const core::GridCellResult& r = results[idx++];
       json.add(r, "rewrite+translate");
-      if (r.report.verdict == core::Verdict::RewriteMismatch) {
+      if (r.report.verdict() == core::Verdict::RewriteMismatch) {
         bench::printCellText("BUG?");
       } else {
-        bench::printCell(r.report.rewriteSeconds + r.report.translateSeconds);
+        bench::printCell(r.report.rewriteSeconds() +
+                         r.report.translateSeconds());
       }
     }
     bench::endRow();

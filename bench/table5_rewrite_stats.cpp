@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     jc.robSize = std::max(4 * widths[i], 64u);
     jc.issueWidth = widths[i];
     jc.label = cols[i].sizeIndependent ? "size-independent" : "SIZE-DEPENDENT";
-    jc.verdict = core::verdictName(cols[i].rep.verdict);
+    jc.verdict = core::verdictName(cols[i].rep.verdict());
     jc.wallSeconds = cols[i].wallSeconds;
     jc.satConflicts = cols[i].rep.satStats.conflicts;
     jc.memHighWaterKb = rssHighWaterKb();
@@ -102,15 +102,15 @@ int main(int argc, char** argv) {
       [&](const Col& c) { return num(c.rep.evcStats.cnfClauses); });
   row("SAT time [s]", [&](const Col& c) {
     char b[32];
-    std::snprintf(b, sizeof b, "%.2f", c.rep.satSeconds);
+    std::snprintf(b, sizeof b, "%.2f", c.rep.satSeconds());
     return std::string(b);
   });
   row("size-independent?", [&](const Col& c) {
     return std::string(c.sizeIndependent ? "yes" : "NO!");
   });
   row("verdict", [&](const Col& c) {
-    return std::string(c.rep.verdict == core::Verdict::Correct ? "correct"
-                                                               : "PROBLEM");
+    return std::string(c.rep.verdict() == core::Verdict::Correct ? "correct"
+                                                                 : "PROBLEM");
   });
   json.write();
   return 0;

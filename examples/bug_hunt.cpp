@@ -12,10 +12,7 @@
 #include <cstring>
 #include <string>
 
-#include "core/diagram.hpp"
-#include "core/verifier.hpp"
-#include "evc/translate.hpp"
-#include "sat/solver.hpp"
+#include "velev.hpp"
 
 using namespace velev;
 
@@ -51,10 +48,10 @@ int main(int argc, char** argv) {
   {
     core::VerifyOptions opts;
     const core::VerifyReport rep = core::verify(cfg, bug, opts);
-    if (rep.verdict == core::Verdict::RewriteMismatch) {
+    if (rep.verdict() == core::Verdict::RewriteMismatch) {
       std::printf("rewriting rules: non-conforming slice %u\n  reason: %s\n",
-                  rep.rewriteFailedSlice, rep.rewriteMessage.c_str());
-    } else if (rep.verdict == core::Verdict::Correct) {
+                  rep.outcome.failedSlice, rep.outcome.reason.c_str());
+    } else if (rep.verdict() == core::Verdict::Correct) {
       std::printf("rewriting rules: design verified CORRECT (the defect is "
                   "not observable)\n");
     }

@@ -7,11 +7,7 @@
 //   $ ./quickstart
 #include <cstdio>
 
-#include "core/verifier.hpp"
-#include "eufm/print.hpp"
-#include "eufm/traverse.hpp"
-#include "rewrite/engine.hpp"
-#include "rewrite/update_chain.hpp"
+#include "velev.hpp"
 
 using namespace velev;
 
@@ -72,7 +68,7 @@ int main() {
         strategy == core::Strategy::PositiveEqualityOnly
             ? "Positive Equality only:"
             : "rewriting + Positive Equality:",
-        rep.verdict == core::Verdict::Correct ? "CORRECT" : "problem",
+        rep.verdict() == core::Verdict::Correct ? "CORRECT" : "problem",
         rep.evcStats.eijVars, rep.evcStats.cnfVars, rep.evcStats.cnfClauses,
         rep.totalSeconds());
   }

@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/verifier.hpp"
+#include "velev.hpp"
 
 using namespace velev;
 
@@ -28,9 +28,11 @@ int main(int argc, char** argv) {
   for (unsigned n = k; n <= maxSize; n *= 2) {
     const core::VerifyReport rep = core::verify({n, k});
     std::printf("%8u | %8.3f | %9.3f | %10.3f | %8.3f | %9zu | %10zu | %s\n",
-                n, rep.simSeconds, rep.rewriteSeconds, rep.translateSeconds,
-                rep.satSeconds, rep.evcStats.cnfVars, rep.evcStats.cnfClauses,
-                rep.verdict == core::Verdict::Correct ? "correct" : "PROBLEM");
+                n, rep.simSeconds(), rep.rewriteSeconds(),
+                rep.translateSeconds(), rep.satSeconds(),
+                rep.evcStats.cnfVars, rep.evcStats.cnfClauses,
+                rep.verdict() == core::Verdict::Correct ? "correct"
+                                                        : "PROBLEM");
     if (cnfVars == 0) {
       cnfVars = rep.evcStats.cnfVars;
       cnfClauses = rep.evcStats.cnfClauses;

@@ -10,14 +10,35 @@ namespace velev::core {
 
 namespace {
 
-GridCellResult runCell(const GridCell& cell, const VerifyOptions& opts) {
+GridCellResult skippedCell(const GridCell& cell) {
+  GridCellResult res;
+  res.cell = cell;
+  res.skipped = true;
+  res.report.outcome.verdict = Verdict::Skipped;
+  res.report.outcome.reason = "cancelled before the cell started";
+  return res;
+}
+
+GridCellResult runCell(const GridCell& cell, const GridOptions& opts) {
   GridCellResult res;
   res.cell = cell;
   Timer t;
-  // verify() builds a fresh eufm::Context for this cell (the
-  // one-context-per-cell ownership rule; see the header).
-  res.report =
-      verify(models::OoOConfig{cell.robSize, cell.issueWidth}, cell.bug, opts);
+  // verify() builds a fresh eufm::Context and arms a fresh BudgetGovernor
+  // for this cell (the one-context-per-cell ownership rule; see the
+  // header), so budgets are strictly per cell.
+  const models::OoOConfig cfg{cell.robSize, cell.issueWidth};
+  res.report = verify(cfg, cell.bug, opts.verify);
+
+  if (opts.fallback == FallbackPolicy::RetryWithRewriting &&
+      res.report.outcome.budgetExceeded() &&
+      opts.verify.strategy == Strategy::PositiveEqualityOnly) {
+    res.fellBack = true;
+    res.firstVerdict = res.report.outcome.verdict;
+    VerifyOptions retry = opts.verify;
+    retry.strategy = Strategy::RewritingPlusPositiveEquality;
+    res.report = verify(cfg, cell.bug, retry);
+  }
+
   res.wallSeconds = t.seconds();
   res.memHighWaterKb = rssHighWaterKb();
   return res;
@@ -33,11 +54,10 @@ std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
   if (opts.jobs <= 1) {
     for (std::size_t i = 0; i < cells.size(); ++i) {
       if (cancel != nullptr && cancel->cancelled()) {
-        results[i].cell = cells[i];
-        results[i].skipped = true;
+        results[i] = skippedCell(cells[i]);
         continue;
       }
-      results[i] = runCell(cells[i], opts.verify);
+      results[i] = runCell(cells[i], opts);
     }
     return results;
   }
@@ -50,15 +70,14 @@ std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
   done.reserve(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
     done.push_back(pool.submit(token, [&results, &cells, &opts, i] {
-      results[i] = runCell(cells[i], opts.verify);
+      results[i] = runCell(cells[i], opts);
     }));
   }
   for (std::size_t i = 0; i < cells.size(); ++i) {
     try {
       done[i].get();
     } catch (const CancelledError&) {
-      results[i].cell = cells[i];
-      results[i].skipped = true;
+      results[i] = skippedCell(cells[i]);
     }
   }
   return results;

@@ -14,6 +14,11 @@
 // disjoint indices and read after all futures are joined. Results are
 // returned in input order, so a parallel run is observationally identical
 // to the sequential one (up to wall-clock fields).
+//
+// RESOURCE ISOLATION: each cell gets its own BudgetGovernor (armed inside
+// verify()), and the memory budget governs the cell's *logical* arena
+// bytes, not process RSS — so one cell tripping MemOut cannot perturb a
+// sibling's verdict, no matter how the cells are scheduled.
 #pragma once
 
 #include <span>
@@ -36,17 +41,31 @@ struct GridCellResult {
   double wallSeconds = 0;       // end-to-end wall time of this cell
   std::size_t memHighWaterKb = 0;  // process RSS high-water after the cell
   bool skipped = false;         // cancelled before the cell started
+  bool fellBack = false;        // FallbackPolicy retried this cell
+  /// When fellBack: the verdict of the original (pre-retry) attempt.
+  Verdict firstVerdict = Verdict::Inconclusive;
+};
+
+/// What to do with a cell whose first attempt exhausted its budget.
+enum class FallbackPolicy {
+  None,
+  /// PE-only cell hit Timeout/MemOut => retry it once with
+  /// RewritingPlusPositiveEquality — the paper's headline comparison: the
+  /// configurations that exhaust 4 GB under Positive Equality alone verify
+  /// in seconds once the rewriting rules delete the ROB updates.
+  RetryWithRewriting,
 };
 
 struct GridOptions {
   unsigned jobs = 1;       // worker threads; 1 = run in the calling thread
-  VerifyOptions verify;    // applied to every cell
+  VerifyOptions verify;    // applied to every cell (budget is per cell)
+  FallbackPolicy fallback = FallbackPolicy::None;
 };
 
 /// Verify every cell of `cells`; results come back in input order. With
 /// jobs > 1, cells run on a work-stealing pool. Cancelling `cancel` stops
 /// the cells that have not started yet (marked skipped, verdict
-/// Inconclusive); running cells finish normally.
+/// Verdict::Skipped); running cells finish normally.
 std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
                                     const GridOptions& opts,
                                     CancelToken* cancel = nullptr);

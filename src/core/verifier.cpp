@@ -1,6 +1,7 @@
 #include "core/verifier.hpp"
 
 #include "rewrite/engine.hpp"
+#include "support/mem.hpp"
 #include "support/timer.hpp"
 
 namespace velev::core {
@@ -13,79 +14,158 @@ const char* verdictName(Verdict v) {
     case Verdict::CounterexampleFound: return "counterexample";
     case Verdict::RewriteMismatch: return "rewrite-mismatch";
     case Verdict::Inconclusive: return "inconclusive";
+    case Verdict::Timeout: return "timeout";
+    case Verdict::MemOut: return "memout";
+    case Verdict::Skipped: return "skipped";
   }
   return "unknown";
 }
+
+std::optional<Verdict> verdictFromName(std::string_view name) {
+  for (Verdict v : {Verdict::Correct, Verdict::CounterexampleFound,
+                    Verdict::RewriteMismatch, Verdict::Inconclusive,
+                    Verdict::Timeout, Verdict::MemOut, Verdict::Skipped})
+    if (name == verdictName(v)) return v;
+  return std::nullopt;
+}
+
+int verdictExitCode(Verdict v) {
+  switch (v) {
+    case Verdict::Correct:
+      return 0;
+    case Verdict::CounterexampleFound:
+    case Verdict::RewriteMismatch:
+      return 1;
+    case Verdict::Inconclusive:
+    case Verdict::Skipped:
+      return 3;
+    case Verdict::Timeout:
+    case Verdict::MemOut:
+      return 4;
+  }
+  return 3;
+}
+
+namespace {
+
+Verdict budgetVerdict(BudgetKind kind) {
+  return kind == BudgetKind::Memory ? Verdict::MemOut : Verdict::Timeout;
+}
+
+/// Scoped attachment of the run's governor to the shared context: restores
+/// whatever was attached before even when a stage throws.
+class ScopedContextBudget {
+ public:
+  ScopedContextBudget(eufm::Context& cx, BudgetGovernor& gov)
+      : cx_(cx), prior_(cx.budgetGovernor()) {
+    cx_.setBudget(&gov);
+  }
+  ~ScopedContextBudget() { cx_.setBudget(prior_); }
+
+ private:
+  eufm::Context& cx_;
+  BudgetGovernor* prior_;
+};
+
+}  // namespace
 
 VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
                         models::OoOProcessor& impl,
                         models::SpecProcessor& spec,
                         const VerifyOptions& opts) {
   VerifyReport rep;
+  BudgetGovernor gov(opts.budget);
+  ScopedContextBudget attach(cx, gov);
+
+  // `stage` points at the StageSeconds slot of the phase in flight, so a
+  // budget trip attributes the partial time to the stage that overran.
   Timer timer;
+  double* stage = &rep.outcome.seconds.sim;
 
-  // 1. Symbolic simulation of the commutative diagram.
-  Diagram d = buildDiagram(cx, impl, spec, opts.sim);
-  rep.simStats = d.implSimStats;
-  rep.simSeconds = timer.seconds();
-
-  Expr correctness = d.correctness;
-  evc::TranslateOptions topts;
-  topts.ufScheme = opts.ufScheme;
-
-  // 2. Rewriting rules (optional): prove & remove the updates of the
-  //    instructions initially in the ROB, then re-assemble the correctness
-  //    formula from the simplified Register File expressions.
-  if (opts.strategy == Strategy::RewritingPlusPositiveEquality) {
-    timer.reset();
-    rewrite::RewriteResult rw = rewrite::rewriteRobUpdates(
-        cx, isa, impl.init, impl.config, d.implRegFile, d.specRegFile);
-    rep.rewriteSeconds = timer.seconds();
-    if (!rw.ok) {
-      rep.verdict = Verdict::RewriteMismatch;
-      rep.rewriteFailedSlice = rw.failedSlice;
-      rep.rewriteMessage = rw.message;
-      return rep;
-    }
-    rep.updatesRemoved = rw.updatesRemoved;
-    Expr c = cx.mkFalse();
-    for (unsigned m = 0; m < d.specPc.size(); ++m) {
-      const Expr eqPc = cx.mkEq(d.implPc, d.specPc[m]);
-      const Expr eqRf = cx.mkEq(rw.implRegFile, rw.specRegFile[m]);
-      c = cx.mkOr(c, cx.mkAnd(eqPc, eqRf));
-    }
-    correctness = c;
-    topts.conservativeMemory = true;
-  }
-
-  // 3. EUFM -> propositional -> CNF via Positive Equality.
-  timer.reset();
-  evc::Translation tr = evc::translate(cx, correctness, topts);
-  rep.evcStats = tr.stats;
-  rep.translateSeconds = timer.seconds();
-
-  // 4. SAT check: the design is correct iff the CNF is unsatisfiable.
-  if (opts.skipSat) {
-    rep.verdict = Verdict::Inconclusive;
+  auto finish = [&](Verdict v) -> VerifyReport& {
+    *stage += timer.seconds();
+    rep.outcome.verdict = v;
+    rep.outcome.peakArenaBytes = gov.peakArenaBytes();
+    rep.outcome.rssHighWaterKb = rssHighWaterKb();
     return rep;
-  }
-  timer.reset();
-  rep.satResult =
-      sat::solveCnf(tr.cnf, nullptr, &rep.satStats, opts.satConflictBudget);
-  rep.satSeconds = timer.seconds();
+  };
 
-  switch (rep.satResult) {
-    case sat::Result::Unsat:
-      rep.verdict = Verdict::Correct;
-      break;
-    case sat::Result::Sat:
-      rep.verdict = Verdict::CounterexampleFound;
-      break;
-    case sat::Result::Unknown:
-      rep.verdict = Verdict::Inconclusive;
-      break;
+  try {
+    // 1. Symbolic simulation of the commutative diagram.
+    Diagram d = buildDiagram(cx, impl, spec, opts.sim);
+    rep.simStats = d.implSimStats;
+    rep.outcome.seconds.sim = timer.seconds();
+
+    Expr correctness = d.correctness;
+    evc::TranslateOptions topts;
+    topts.ufScheme = opts.ufScheme;
+
+    // 2. Rewriting rules (optional): prove & remove the updates of the
+    //    instructions initially in the ROB, then re-assemble the correctness
+    //    formula from the simplified Register File expressions.
+    if (opts.strategy == Strategy::RewritingPlusPositiveEquality) {
+      timer.reset();
+      stage = &rep.outcome.seconds.rewrite;
+      rewrite::RewriteResult rw = rewrite::rewriteRobUpdates(
+          cx, isa, impl.init, impl.config, d.implRegFile, d.specRegFile);
+      rep.outcome.seconds.rewrite = timer.seconds();
+      if (!rw.ok) {
+        rep.outcome.failedSlice = rw.failedSlice;
+        rep.outcome.reason = rw.message;
+        timer.reset();
+        return finish(Verdict::RewriteMismatch);
+      }
+      rep.updatesRemoved = rw.updatesRemoved;
+      Expr c = cx.mkFalse();
+      for (unsigned m = 0; m < d.specPc.size(); ++m) {
+        const Expr eqPc = cx.mkEq(d.implPc, d.specPc[m]);
+        const Expr eqRf = cx.mkEq(rw.implRegFile, rw.specRegFile[m]);
+        c = cx.mkOr(c, cx.mkAnd(eqPc, eqRf));
+      }
+      correctness = c;
+      topts.conservativeMemory = true;
+    }
+
+    // 3. EUFM -> propositional -> CNF via Positive Equality.
+    timer.reset();
+    stage = &rep.outcome.seconds.translate;
+    evc::Translation tr = evc::translate(cx, correctness, topts);
+    rep.evcStats = tr.stats;
+    rep.outcome.seconds.translate = timer.seconds();
+
+    // 4. SAT check: the design is correct iff the CNF is unsatisfiable.
+    if (opts.skipSat) {
+      timer.reset();
+      return finish(Verdict::Inconclusive);
+    }
+    timer.reset();
+    stage = &rep.outcome.seconds.sat;
+    rep.outcome.satResult = sat::solveCnf(tr.cnf, nullptr, &rep.satStats,
+                                          opts.budget.satConflicts, nullptr,
+                                          &gov);
+    rep.outcome.seconds.sat = timer.seconds();
+    timer.reset();
+
+    switch (rep.outcome.satResult) {
+      case sat::Result::Unsat:
+        return finish(Verdict::Correct);
+      case sat::Result::Sat:
+        return finish(Verdict::CounterexampleFound);
+      case sat::Result::Unknown:
+        break;
+    }
+    // Unknown: either the governor stopped the solver (budget verdict) or
+    // the SAT conflict budget ran out (the classic Inconclusive).
+    if (gov.exceeded()) {
+      rep.outcome.reason = gov.exceededReason();
+      return finish(budgetVerdict(gov.exceededKind()));
+    }
+    rep.outcome.reason = "SAT conflict budget exhausted";
+    return finish(Verdict::Inconclusive);
+  } catch (const BudgetExceeded& e) {
+    rep.outcome.reason = e.what();
+    return finish(budgetVerdict(e.kind()));
   }
-  return rep;
 }
 
 VerifyReport verify(const models::OoOConfig& cfg, const models::BugSpec& bug,

@@ -5,15 +5,24 @@
 // the correctness formula to CNF via Positive Equality, and checks
 // unsatisfiability with the CDCL solver. Per-stage wall-clock times are
 // reported — they are the quantities of Tables 1, 2, 4 and 5 of the paper.
+//
+// Every run is resource-governed (support/budget.hpp): a ResourceBudget in
+// VerifyOptions bounds wall-clock time and logical arena memory, and an
+// exhausted budget degrades into Verdict::Timeout / Verdict::MemOut rather
+// than a crash — this is how Table 2's "out of memory" entries reproduce on
+// a machine with plenty of RAM.
 #pragma once
 
-#include <cstdint>
+#include <cstddef>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/diagram.hpp"
 #include "evc/translate.hpp"
 #include "models/ooo.hpp"
 #include "sat/solver.hpp"
+#include "support/budget.hpp"
 
 namespace velev::core {
 
@@ -30,40 +39,97 @@ enum class Strategy {
 struct VerifyOptions {
   Strategy strategy = Strategy::RewritingPlusPositiveEquality;
   tlsim::Simulator::Options sim;
-  std::int64_t satConflictBudget = -1;  // <0: unlimited
+  /// Resource limits for the whole run (wall clock, logical arena bytes,
+  /// SAT conflicts). Default-constructed = unlimited.
+  ResourceBudget budget;
   bool skipSat = false;  // stop after translation (timing benches)
   evc::UfScheme ufScheme = evc::UfScheme::NestedIte;  // ablation hook
 };
 
 enum class Verdict {
-  Correct,            // CNF proven unsatisfiable
+  Correct,              // CNF proven unsatisfiable
   CounterexampleFound,  // SAT model exists (design incorrect)
-  RewriteMismatch,    // rewriting flagged a non-conforming slice
-  Inconclusive,       // SAT budget exhausted
+  RewriteMismatch,      // rewriting flagged a non-conforming slice
+  Inconclusive,         // SAT conflict budget exhausted / SAT skipped
+  Timeout,              // wall-clock budget exhausted
+  MemOut,               // memory budget exhausted (Table 2's "out of memory")
+  Skipped,              // grid cell never ran (cancelled before start)
 };
 
 /// Stable lower-case name, used by the CLI and the JSON bench reports.
 const char* verdictName(Verdict v);
 
-struct VerifyReport {
+/// Inverse of verdictName() (round-trips every Verdict value; the CLI test
+/// asserts this). Unknown names yield nullopt.
+std::optional<Verdict> verdictFromName(std::string_view name);
+
+/// The one process exit-code mapping shared by velev_verify, the benches
+/// and cli_test: 0 correct, 1 refuted (counterexample or rewrite mismatch),
+/// 3 inconclusive/skipped, 4 budget exhausted (timeout/memout). Exit code 2
+/// is reserved for usage errors and never produced from a Verdict.
+int verdictExitCode(Verdict v);
+
+/// Wall-clock seconds per pipeline stage. On a budget-exceeded run the
+/// stage that tripped carries its partial time.
+struct StageSeconds {
+  double sim = 0;        // symbolic simulation (Table 1)
+  double rewrite = 0;    // rewriting rules
+  double translate = 0;  // EUFM -> CNF (Tables 2 col. / 4)
+  double sat = 0;        // SAT checking (Tables 2 / 3 / 5)
+  double total() const { return sim + rewrite + translate + sat; }
+};
+
+/// The unified result of a verification run: verdict, human-readable
+/// reason, and resource accounting. Replaces the former loose trio of
+/// VerifyReport::{verdict, satResult, rewrite*} fields.
+struct Outcome {
   Verdict verdict = Verdict::Inconclusive;
-
-  // Rewriting outcome (strategy == RewritingPlusPositiveEquality only).
-  unsigned rewriteFailedSlice = 0;
-  std::string rewriteMessage;
-  unsigned updatesRemoved = 0;
-
+  /// Why: the rewrite-mismatch explanation for RewriteMismatch, the budget
+  /// trip message for Timeout/MemOut, empty otherwise.
+  std::string reason;
+  /// RewriteMismatch only: 1-based index of the non-conforming slice.
+  unsigned failedSlice = 0;
+  /// Raw SAT answer (Unknown when the SAT stage never ran or gave up).
   sat::Result satResult = sat::Result::Unknown;
+  StageSeconds seconds;
+  /// High-water mark of the summed logical arena bytes (EUFM DAG + AIG +
+  /// CNF + solver clause databases) — the quantity a memory budget governs.
+  std::size_t peakArenaBytes = 0;
+  /// Process-wide VmHWM snapshot at completion, for accounting only.
+  std::size_t rssHighWaterKb = 0;
+
+  bool budgetExceeded() const {
+    return verdict == Verdict::Timeout || verdict == Verdict::MemOut;
+  }
+};
+
+struct VerifyReport {
+  Outcome outcome;
+
+  unsigned updatesRemoved = 0;  // rewriting strategy only
   evc::TranslationStats evcStats;
   sat::Stats satStats;
   tlsim::Simulator::Stats simStats;
 
-  double simSeconds = 0;        // symbolic simulation (Table 1)
-  double rewriteSeconds = 0;    // rewriting rules
-  double translateSeconds = 0;  // EUFM -> CNF (Tables 2 col. / 4)
-  double satSeconds = 0;        // SAT checking (Tables 2 / 3 / 5)
-  double totalSeconds() const {
-    return simSeconds + rewriteSeconds + translateSeconds + satSeconds;
+  Verdict verdict() const { return outcome.verdict; }
+  double simSeconds() const { return outcome.seconds.sim; }
+  double rewriteSeconds() const { return outcome.seconds.rewrite; }
+  double translateSeconds() const { return outcome.seconds.translate; }
+  double satSeconds() const { return outcome.seconds.sat; }
+  double totalSeconds() const { return outcome.seconds.total(); }
+
+  // Pre-Outcome accessors, kept one release so out-of-tree callers of the
+  // old field names compile with a warning pointing at the replacement.
+  [[deprecated("use outcome.satResult")]] sat::Result satResult() const {
+    return outcome.satResult;
+  }
+  [[deprecated("use outcome.failedSlice")]] unsigned rewriteFailedSlice()
+      const {
+    return outcome.failedSlice;
+  }
+  [[deprecated("use outcome.reason")]] const std::string& rewriteMessage()
+      const {
+    return outcome.reason;
   }
 };
 

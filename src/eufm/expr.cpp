@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/budget.hpp"
 #include "support/hash.hpp"
 
 namespace velev::eufm {
@@ -43,7 +44,18 @@ void Context::growTable() {
   }
 }
 
+void Context::setBudget(BudgetGovernor* governor) {
+  budget_ = governor;
+  budgetSource_ = governor != nullptr ? governor->registerSource() : -1;
+  budgetTick_ = 0;
+}
+
 Expr Context::intern(Kind k, std::uint32_t sym, std::span<const Expr> args) {
+  // Every expression ever built passes through here, so a strided
+  // checkpoint governs all DAG-growing phases at once. 256 interns grow
+  // the arenas by a few KiB at most — far finer than any realistic budget.
+  if (budget_ != nullptr && (++budgetTick_ & 0xffu) == 0)
+    budget_->checkpoint(budgetSource_, memoryBytes());
   if (tableCount_ * 10 >= table_.size() * 7) growTable();
   const std::uint64_t mask = table_.size() - 1;
   std::uint64_t slot = nodeHash(k, sym, args) & mask;

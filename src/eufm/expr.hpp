@@ -28,6 +28,10 @@
 #include "support/check.hpp"
 #include "support/interner.hpp"
 
+namespace velev {
+class BudgetGovernor;
+}  // namespace velev
+
 namespace velev::eufm {
 
 /// Node id into a Context. Ids are dense and stable for the Context lifetime.
@@ -150,6 +154,25 @@ class Context {
 
   std::size_t numNodes() const { return nodes_.size(); }
 
+  // ---- Resource governance -------------------------------------------------
+  /// Attaches (or with nullptr, detaches) a resource governor. While
+  /// attached, intern() periodically checkpoints the context's logical
+  /// memory footprint and the governor's deadline; an exhausted budget
+  /// unwinds out of the current builder call as BudgetExceeded. Every phase
+  /// that grows the DAG — symbolic simulation, rewriting, memory/UF
+  /// elimination — is thereby governed through this single chokepoint.
+  void setBudget(BudgetGovernor* governor);
+  BudgetGovernor* budgetGovernor() const { return budget_; }
+
+  /// Logical bytes owned by this context (vector capacities of the node
+  /// arena, argument pool, and hash-cons table). O(1); this is the quantity
+  /// reported to the governor.
+  std::size_t memoryBytes() const {
+    return nodes_.capacity() * sizeof(Node) +
+           argPool_.capacity() * sizeof(Expr) +
+           table_.capacity() * sizeof(Expr);
+  }
+
   /// Structural helpers used throughout the pipeline.
   bool isVar(Expr e) const {
     const Kind k = kind(e);
@@ -183,6 +206,10 @@ class Context {
   std::uint64_t freshCounter_ = 0;
   Expr true_ = kNoExpr;
   Expr false_ = kNoExpr;
+
+  BudgetGovernor* budget_ = nullptr;
+  int budgetSource_ = -1;
+  std::uint32_t budgetTick_ = 0;
 };
 
 }  // namespace velev::eufm

@@ -113,6 +113,9 @@ Encoding encode(const Context& cx, Expr root,
                 const std::unordered_set<Expr>& gVars) {
   Encoding out;
   out.pctx = std::make_unique<prop::PropCtx>();
+  // The AIG inherits the verification run's governor from the EUFM context,
+  // so the encoding phase is governed without a new parameter here.
+  out.pctx->setBudget(cx.budgetGovernor());
   EncoderImpl enc(cx, gVars, out);
   out.root = enc.encF(root);
   return out;

@@ -4,15 +4,18 @@
 #include <unordered_map>
 #include <vector>
 
+#include "support/budget.hpp"
 #include "support/check.hpp"
 
 namespace velev::evc {
 
 TransitivityStats addTransitivityConstraints(
     const std::map<std::pair<eufm::Expr, eufm::Expr>, std::uint32_t>& edges,
-    prop::Cnf& cnf) {
+    prop::Cnf& cnf, BudgetGovernor* governor) {
   TransitivityStats st;
   if (edges.empty()) return st;
+  const int budgetSource =
+      governor != nullptr ? governor->registerSource() : -1;
 
   // Dense vertex ids for the g-variables involved.
   std::unordered_map<eufm::Expr, unsigned> vertexId;
@@ -51,6 +54,13 @@ TransitivityStats addTransitivityConstraints(
   // neighbours pairwise (fresh variables for fill-in edges) and emits the
   // triangle constraints (u, a, b) for every such pair.
   for (unsigned round = 0; round < n; ++round) {
+    // One elimination round can emit O(degree^2) triangles; checkpoint the
+    // clause bytes emitted so far plus the (fill-in-growing) adjacency.
+    if (governor != nullptr)
+      governor->checkpoint(
+          budgetSource, st.clauses * (3 * sizeof(prop::CnfLit) +
+                                      sizeof(prop::Clause) + 16) +
+                            (edges.size() + st.fillInEdges) * 2 * 48);
     unsigned best = n;
     std::size_t bestDeg = 0;
     for (unsigned u = 0; u < n; ++u) {

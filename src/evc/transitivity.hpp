@@ -17,6 +17,10 @@
 #include "eufm/expr.hpp"
 #include "prop/cnf.hpp"
 
+namespace velev {
+class BudgetGovernor;
+}  // namespace velev
+
 namespace velev::evc {
 
 struct TransitivityStats {
@@ -27,9 +31,11 @@ struct TransitivityStats {
 
 /// Append transitivity clauses for the comparison graph whose edges are the
 /// e_ij variables (given as CNF variable indices) to `cnf`. Fill-in edges
-/// allocate fresh CNF variables.
+/// allocate fresh CNF variables. Fill-in is where the PE-only flow's
+/// quadratic-and-worse blowup lives, so the elimination loop checkpoints
+/// `governor` (if given) and unwinds as BudgetExceeded on exhaustion.
 TransitivityStats addTransitivityConstraints(
     const std::map<std::pair<eufm::Expr, eufm::Expr>, std::uint32_t>& edges,
-    prop::Cnf& cnf);
+    prop::Cnf& cnf, BudgetGovernor* governor = nullptr);
 
 }  // namespace velev::evc

@@ -54,7 +54,8 @@ Translation translate(eufm::Context& cx, Expr correctness,
   std::map<std::pair<Expr, Expr>, std::uint32_t> eijCnfVars;
   for (const auto& [pair, lit] : enc.eijLit)
     eijCnfVars.emplace(pair, enc.pctx->varIndex(prop::nodeOf(lit)) + 1);
-  tr.stats.transitivity = addTransitivityConstraints(eijCnfVars, tr.cnf);
+  tr.stats.transitivity =
+      addTransitivityConstraints(eijCnfVars, tr.cnf, cx.budgetGovernor());
   tr.stats.cnfVars = tr.cnf.numVars;
   tr.stats.cnfClauses = tr.cnf.numClauses();
 

@@ -6,6 +6,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "support/budget.hpp"
+
 namespace velev::prop {
 
 Cnf tseitin(const PropCtx& cx, PLit root, bool negateRoot) {
@@ -34,6 +36,15 @@ Cnf tseitin(const PropCtx& cx, PLit root, bool negateRoot) {
     return isNegated(l) ? -v : v;
   };
 
+  // The CNF can dwarf the AIG it came from, so its growth is governed too:
+  // a separate byte-accounting slot tracks clause-storage bytes (literal
+  // payload plus per-clause vector overhead) on a strided checkpoint.
+  BudgetGovernor* const governor = cx.budgetGovernor();
+  const int budgetSource =
+      governor != nullptr ? governor->registerSource() : -1;
+  std::size_t clauseBytes = 0;
+  std::uint32_t budgetTick = 0;
+
   // Iterative postorder over And nodes.
   std::vector<std::uint32_t> stack = {nodeOf(root)};
   std::vector<char> seen;
@@ -46,6 +57,11 @@ Cnf tseitin(const PropCtx& cx, PLit root, bool negateRoot) {
     stack.pop_back();
     if (visited(n) || cx.isVarNode(n)) continue;
     visited(n) = 1;
+    // Each processed node emits three clauses (7 literals) and at most one
+    // map entry; accumulate instead of rescanning the clause database.
+    clauseBytes += 7 * sizeof(CnfLit) + 3 * (sizeof(Clause) + 16) + 48 + 1;
+    if (governor != nullptr && (++budgetTick & 0x3ffu) == 0)
+      governor->checkpoint(budgetSource, clauseBytes);
     VELEV_CHECK(cx.isAndNode(n));
     const PLit a = cx.andLeft(n), b = cx.andRight(n);
     const CnfLit lv = static_cast<CnfLit>(varFor(n));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/budget.hpp"
 #include "support/hash.hpp"
 
 namespace velev::prop {
@@ -41,7 +42,17 @@ void PropCtx::growTable() {
   }
 }
 
+void PropCtx::setBudget(BudgetGovernor* governor) {
+  budget_ = governor;
+  budgetSource_ = governor != nullptr ? governor->registerSource() : -1;
+  budgetTick_ = 0;
+}
+
 std::uint32_t PropCtx::internAnd(PLit a, PLit b) {
+  // Single chokepoint for AIG growth: the whole e_ij encoding phase is
+  // governed by this strided checkpoint.
+  if (budget_ != nullptr && (++budgetTick_ & 0xffu) == 0)
+    budget_->checkpoint(budgetSource_, memoryBytes());
   if (tableCount_ * 10 >= table_.size() * 7) growTable();
   const std::uint64_t mask = table_.size() - 1;
   std::uint64_t slot = hashValues({a, b}) & mask;

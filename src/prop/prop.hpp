@@ -14,6 +14,10 @@
 
 #include "support/check.hpp"
 
+namespace velev {
+class BudgetGovernor;
+}  // namespace velev
+
 namespace velev::prop {
 
 using PLit = std::uint32_t;
@@ -76,6 +80,19 @@ class PropCtx {
   /// varIndex). Used by brute-force cross-checks in the tests.
   bool eval(PLit root, const std::vector<bool>& assignment) const;
 
+  // ---- Resource governance -------------------------------------------------
+  /// Attaches (or with nullptr, detaches) a resource governor; internAnd()
+  /// then checkpoints this AIG's logical footprint on a stride, and
+  /// tseitin() picks the governor up from here for the CNF it emits.
+  void setBudget(BudgetGovernor* governor);
+  BudgetGovernor* budgetGovernor() const { return budget_; }
+
+  /// Logical bytes owned by this AIG (node arena + hash table). O(1).
+  std::size_t memoryBytes() const {
+    return nodes_.capacity() * sizeof(Node) +
+           table_.capacity() * sizeof(std::uint32_t);
+  }
+
  private:
   struct Node {
     bool var = false;
@@ -90,6 +107,10 @@ class PropCtx {
   std::vector<std::uint32_t> table_;  // open addressing over And nodes
   std::size_t tableCount_ = 0;
   std::uint32_t numVars_ = 0;
+
+  BudgetGovernor* budget_ = nullptr;
+  int budgetSource_ = -1;
+  std::uint32_t budgetTick_ = 0;
 };
 
 }  // namespace velev::prop

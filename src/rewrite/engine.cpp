@@ -5,6 +5,7 @@
 #include "rewrite/contexts.hpp"
 #include "rewrite/subst.hpp"
 #include "rewrite/update_chain.hpp"
+#include "support/budget.hpp"
 
 namespace velev::rewrite {
 
@@ -36,7 +37,17 @@ class Engine {
       extract(implRegFile, specRegFile);
       checkContexts();
       checkMovability();
-      for (unsigned i = 0; i < n_; ++i) checkSliceData(i);
+      // One governor checkpoint per ROB slice. The expression building
+      // inside checkSliceData is already governed through cx_'s intern
+      // chokepoint; this adds a deterministic per-slice poll so a deadline
+      // trips between slices even when a slice interns nothing new. A
+      // BudgetExceeded deliberately propagates past the SliceMismatch
+      // handler below: budget exhaustion is not a rule mismatch.
+      for (unsigned i = 0; i < n_; ++i) {
+        if (BudgetGovernor* gov = cx_.budgetGovernor())
+          gov->checkpoint(-1, 0);
+        checkSliceData(i);
+      }
       rebuild(res, specRegFile.size());
       res.ok = true;
       res.updatesRemoved = k_ + 2 * n_;

@@ -41,10 +41,13 @@ Result solvePortfolio(const prop::Cnf& cnf, const PortfolioOptions& opts,
     Solver solver(portfolioInstanceOptions(opts, i));
     if (opts.wantProof) solver.setProof(&slot.proof);
     solver.setCancel(&cancel);
+    solver.setBudget(opts.budget);
     solver.ensureVars(cnf.numVars);
     bool ok = true, aborted = false;
+    std::size_t loaded = 0;
     for (const auto& c : cnf.clauses) {
-      if (solver.cancelled()) {
+      if (solver.cancelled() ||
+          ((++loaded & 0xfffu) == 0 && solver.pollBudget())) {
         aborted = true;
         break;
       }

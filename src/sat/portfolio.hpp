@@ -34,6 +34,11 @@ struct PortfolioOptions {
   std::int64_t conflictBudget = -1;  // per instance; <0 unlimited
   Options base;                  // instance 0 runs exactly these options
   bool wantProof = false;        // log DRAT everywhere, return the winner's
+  /// Optional shared resource governor: every instance registers its own
+  /// byte-accounting slot (the memory trip condition sees the *sum* over
+  /// the race) and polls it between propagation rounds; exhaustion stops
+  /// the whole race with Result::Unknown. Must outlive the call.
+  BudgetGovernor* budget = nullptr;
 };
 
 struct PortfolioReport {

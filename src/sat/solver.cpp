@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/budget.hpp"
+
 namespace velev::sat {
 
 namespace {
@@ -389,6 +391,15 @@ void Solver::reduceDb() {
   learntRefs_ = std::move(kept);
 }
 
+void Solver::setBudget(BudgetGovernor* governor) {
+  budget_ = governor;
+  budgetSource_ = governor != nullptr ? governor->registerSource() : -1;
+}
+
+bool Solver::pollBudget() noexcept {
+  return budget_ != nullptr && budget_->poll(budgetSource_, memoryBytes());
+}
+
 Result Solver::solve(std::int64_t conflictBudget) {
   if (!okay_) return Result::Unsat;
   std::int64_t restartNum = 0;
@@ -396,7 +407,7 @@ Result Solver::solve(std::int64_t conflictBudget) {
   std::vector<Lit> learnt;
 
   for (;;) {
-    if (cancelled()) return Result::Unknown;
+    if (cancelled() || pollBudget()) return Result::Unknown;
     const CRef conflict = propagate();
     if (conflict != kCRefUndef) {
       ++stats_.conflicts;
@@ -498,16 +509,26 @@ Solver::Var Solver::heapPop() {
 }
 
 Result solveCnf(const prop::Cnf& cnf, std::vector<bool>* model, Stats* stats,
-                std::int64_t conflictBudget, Proof* proof) {
+                std::int64_t conflictBudget, Proof* proof,
+                BudgetGovernor* budget) {
   Solver s;
   s.setProof(proof);
+  s.setBudget(budget);
   s.ensureVars(cnf.numVars);
   bool ok = true;
-  for (const auto& c : cnf.clauses)
+  std::size_t loaded = 0;
+  for (const auto& c : cnf.clauses) {
+    // Loading the clause database copies the whole CNF into the arena;
+    // poll so an over-budget instance stops before doubling its footprint.
+    if ((++loaded & 0xfffu) == 0 && s.pollBudget()) {
+      if (stats) *stats = s.stats();
+      return Result::Unknown;
+    }
     if (!s.addClause(c)) {
       ok = false;
       break;
     }
+  }
   Result r = ok ? s.solve(conflictBudget) : Result::Unsat;
   if (r == Result::Sat && model) {
     model->assign(cnf.numVars + 1, false);

@@ -22,6 +22,10 @@
 #include "sat/drat.hpp"
 #include "support/rng.hpp"
 
+namespace velev {
+class BudgetGovernor;
+}  // namespace velev
+
 namespace velev::sat {
 
 enum class Result { Sat, Unsat, Unknown };
@@ -80,6 +84,30 @@ class Solver {
   void setCancel(const std::atomic<bool>* flag) { cancel_ = flag; }
   bool cancelled() const {
     return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
+
+  /// Cooperative resource governance, alongside the cancellation hook:
+  /// solve() polls the governor once per propagation round (reporting the
+  /// clause arena's logical bytes) and returns Result::Unknown when a
+  /// budget is exhausted. A solver never throws mid-propagation — the
+  /// caller disambiguates Unknown via BudgetGovernor::exceeded(). The
+  /// governor may be shared by all instances of a portfolio.
+  void setBudget(BudgetGovernor* governor);
+  BudgetGovernor* budgetGovernor() const { return budget_; }
+
+  /// One governance poll: reports this solver's logical bytes, returns
+  /// true once any budget is exceeded. Used by solve() and by solveCnf()
+  /// while the clause database is being loaded.
+  bool pollBudget() noexcept;
+
+  /// Logical bytes owned by this solver (clause arena + per-variable
+  /// bookkeeping + watcher lists). O(1) approximation.
+  std::size_t memoryBytes() const {
+    return arena_.capacity() * sizeof(std::uint32_t) +
+           (learntRefs_.capacity() + problemRefs_.capacity()) * sizeof(CRef) +
+           nVars_ * (sizeof(LBool) + sizeof(std::int8_t) +
+                     sizeof(std::uint32_t) + sizeof(CRef) + sizeof(double) +
+                     2 * sizeof(std::vector<Watcher>));
   }
 
   const Stats& stats() const { return stats_; }
@@ -181,15 +209,18 @@ class Solver {
 
   Rng rng_;
   const std::atomic<bool>* cancel_ = nullptr;
+  BudgetGovernor* budget_ = nullptr;
+  int budgetSource_ = -1;
   Proof* proof_ = nullptr;
   prop::Clause toDimacs(std::span<const Lit> lits) const;
 };
 
 /// Convenience wrapper: solve a CNF; fills `model` (indexed by DIMACS var,
 /// entry 0 unused) when satisfiable; logs a DRAT proof when `proof` is
-/// given.
+/// given. With a `budget`, both the clause-loading phase and the solve
+/// loop are governed; exhaustion yields Result::Unknown (never a throw).
 Result solveCnf(const prop::Cnf& cnf, std::vector<bool>* model = nullptr,
                 Stats* stats = nullptr, std::int64_t conflictBudget = -1,
-                Proof* proof = nullptr);
+                Proof* proof = nullptr, BudgetGovernor* budget = nullptr);
 
 }  // namespace velev::sat

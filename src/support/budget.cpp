@@ -1,0 +1,124 @@
+#include "support/budget.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace velev {
+
+namespace {
+
+std::string formatBytes(std::size_t bytes) {
+  std::ostringstream os;
+  if (bytes >= 10u * 1024u * 1024u) {
+    os << bytes / (1024u * 1024u) << " MiB";
+  } else if (bytes >= 10u * 1024u) {
+    os << bytes / 1024u << " KiB";
+  } else {
+    os << bytes << " B";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+const char* budgetKindName(BudgetKind kind) {
+  switch (kind) {
+    case BudgetKind::None:
+      return "none";
+    case BudgetKind::Deadline:
+      return "deadline";
+    case BudgetKind::Memory:
+      return "memory";
+  }
+  return "none";
+}
+
+BudgetGovernor::BudgetGovernor(const ResourceBudget& budget)
+    : budget_(budget), start_(Clock::now()) {}
+
+int BudgetGovernor::registerSource() noexcept {
+  const int slot = nextSource_.fetch_add(1, std::memory_order_relaxed);
+  return slot < kMaxSources ? slot : -1;
+}
+
+double BudgetGovernor::elapsedSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+void BudgetGovernor::trip(BudgetKind kind, const std::string& reason) noexcept {
+  if (claimed_.exchange(true, std::memory_order_acq_rel)) return;
+  try {
+    reason_ = reason;
+  } catch (...) {
+    // Out of memory while reporting out of memory: keep the empty reason.
+  }
+  kind_.store(kind, std::memory_order_release);
+}
+
+bool BudgetGovernor::updateAndCheck(int source, std::size_t bytes) noexcept {
+  if (source >= 0) {
+    sourceBytes_[source].store(bytes, std::memory_order_relaxed);
+  } else if (bytes > 0) {
+    // Unslotted caller: fold into a shared slot, keeping the max so a burst
+    // is never under-counted (several unslotted callers cannot be summed
+    // without double counting).
+    std::size_t prev = overflowBytes_.load(std::memory_order_relaxed);
+    while (prev < bytes && !overflowBytes_.compare_exchange_weak(
+                               prev, bytes, std::memory_order_relaxed)) {
+    }
+  }
+
+  const int slots =
+      std::min(nextSource_.load(std::memory_order_relaxed), kMaxSources);
+  std::size_t total = overflowBytes_.load(std::memory_order_relaxed);
+  for (int i = 0; i < slots; ++i)
+    total += sourceBytes_[i].load(std::memory_order_relaxed);
+
+  std::size_t peak = peakBytes_.load(std::memory_order_relaxed);
+  while (peak < total && !peakBytes_.compare_exchange_weak(
+                             peak, total, std::memory_order_relaxed)) {
+  }
+
+  if (exceeded()) return true;
+
+  if (budget_.memoryBytes > 0 && total > budget_.memoryBytes) {
+    std::ostringstream os;
+    os << "memory budget exceeded: " << formatBytes(total)
+       << " of logical arena in use, budget " << formatBytes(budget_.memoryBytes);
+    trip(BudgetKind::Memory, os.str());
+    return true;
+  }
+
+  if (budget_.wallSeconds > 0 &&
+      tick_.fetch_add(1, std::memory_order_relaxed) % kTimeStride == 0) {
+    const double elapsed = elapsedSeconds();
+    if (elapsed > budget_.wallSeconds) {
+      std::ostringstream os;
+      os << "deadline exceeded: " << elapsed << " s elapsed, budget "
+         << budget_.wallSeconds << " s";
+      trip(BudgetKind::Deadline, os.str());
+      return true;
+    }
+  }
+  return false;
+}
+
+void BudgetGovernor::checkpoint(int source, std::size_t bytes) {
+  if (!updateAndCheck(source, bytes)) return;
+  // The claim winner publishes reason_ then kind_ (release); wait the few
+  // stores it takes so the exception carries the definitive kind.
+  BudgetKind kind;
+  while ((kind = kind_.load(std::memory_order_acquire)) == BudgetKind::None) {
+  }
+  throw BudgetExceeded(kind, reason_);
+}
+
+bool BudgetGovernor::poll(int source, std::size_t bytes) noexcept {
+  return updateAndCheck(source, bytes);
+}
+
+std::string BudgetGovernor::exceededReason() const {
+  return exceeded() ? reason_ : std::string();
+}
+
+}  // namespace velev

@@ -1,0 +1,48 @@
+// Umbrella façade header: the whole public surface of the library in one
+// include. Tools, examples and out-of-tree users should prefer
+//
+//   #include "velev.hpp"
+//
+// over picking individual subsystem headers; the per-module headers remain
+// available for translation units that want minimal dependencies.
+#pragma once
+
+// support/ — infrastructure shared by every layer.
+#include "support/budget.hpp"
+#include "support/check.hpp"
+#include "support/json.hpp"
+#include "support/mem.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+// eufm/ — the hash-consed EUFM term/formula DAG and its evaluator.
+#include "eufm/eval.hpp"
+#include "eufm/expr.hpp"
+#include "eufm/memsort.hpp"
+#include "eufm/print.hpp"
+#include "eufm/traverse.hpp"
+
+// prop/ + sat/ — AIG, Tseitin CNF, CDCL solver, DRAT proofs, portfolio.
+#include "prop/cnf.hpp"
+#include "prop/prop.hpp"
+#include "sat/drat.hpp"
+#include "sat/portfolio.hpp"
+#include "sat/solver.hpp"
+
+// tlsim/ + models/ — term-level simulator and the processor models.
+#include "models/isa.hpp"
+#include "models/ooo.hpp"
+#include "models/spec.hpp"
+#include "tlsim/netlist.hpp"
+#include "tlsim/sim.hpp"
+
+// rewrite/ + evc/ — the paper's rewriting rules and the Positive-Equality
+// translation pipeline.
+#include "evc/translate.hpp"
+#include "rewrite/engine.hpp"
+#include "rewrite/update_chain.hpp"
+
+// core/ — Burch–Dill diagram, verifier front end, parallel grid runner.
+#include "core/diagram.hpp"
+#include "core/grid_runner.hpp"
+#include "core/verifier.hpp"

@@ -11,6 +11,7 @@
 #include <string>
 #include <sys/wait.h>
 
+#include "core/verifier.hpp"
 #include "prop/cnf.hpp"
 #include "sat/solver.hpp"
 
@@ -79,6 +80,62 @@ TEST(Cli, BudgetExhaustionExitsThree) {
       runCli("--size 4 --width 4 --strategy pe --budget 1 --quiet");
   EXPECT_EQ(r.exitCode, 3) << r.output;
   EXPECT_NE(r.output.find("INCONCLUSIVE"), std::string::npos) << r.output;
+}
+
+TEST(Cli, MemBudgetExhaustionExitsFour) {
+  // A 1 MiB logical-arena budget cannot hold the PE-only translation of an
+  // 8x4 design; the run must degrade into a memout verdict, not an OOM kill.
+  const std::string jsonPath = tmpPath("cli_memout.json");
+  const CliResult r = runCli(
+      "--size 8 --width 4 --strategy pe --mem-budget 1 --json " + jsonPath +
+      " --quiet");
+  EXPECT_EQ(r.exitCode, 4) << r.output;
+  EXPECT_NE(r.output.find("OUT OF MEMORY"), std::string::npos) << r.output;
+  std::ifstream in(jsonPath);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("\"verdict\": \"memout\""), std::string::npos)
+      << ss.str();
+  EXPECT_NE(ss.str().find("\"reason\""), std::string::npos) << ss.str();
+}
+
+TEST(Cli, TimeoutExitsFour) {
+  // PE-only at 4x4 takes far longer than 10 ms; the deadline must trip one
+  // of the cooperative checkpoints and unwind into a timeout verdict.
+  const CliResult r =
+      runCli("--size 4 --width 4 --strategy pe --timeout 0.01 --quiet");
+  EXPECT_EQ(r.exitCode, 4) << r.output;
+  EXPECT_NE(r.output.find("TIMEOUT"), std::string::npos) << r.output;
+}
+
+TEST(Cli, BadBudgetValuesAreUsageErrors) {
+  EXPECT_EQ(runCli("--size 4 --width 2 --timeout 0").exitCode, 2);
+  EXPECT_EQ(runCli("--size 4 --width 2 --mem-budget 0").exitCode, 2);
+  EXPECT_EQ(runCli("--size 4 --width 2 --fallback bogus").exitCode, 2);
+}
+
+TEST(Cli, VerdictHelpersRoundTripEveryVerdict) {
+  using core::Verdict;
+  for (const Verdict v :
+       {Verdict::Correct, Verdict::CounterexampleFound,
+        Verdict::RewriteMismatch, Verdict::Inconclusive, Verdict::Timeout,
+        Verdict::MemOut, Verdict::Skipped}) {
+    const char* name = core::verdictName(v);
+    ASSERT_NE(name, nullptr);
+    const auto back = core::verdictFromName(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, v) << name;
+    const int code = core::verdictExitCode(v);
+    EXPECT_TRUE(code == 0 || code == 1 || code == 3 || code == 4) << name;
+    EXPECT_NE(code, 2) << "2 is reserved for usage errors: " << name;
+  }
+  EXPECT_FALSE(core::verdictFromName("no-such-verdict").has_value());
+  // The paper-facing mapping the tools rely on.
+  EXPECT_EQ(core::verdictExitCode(core::Verdict::Correct), 0);
+  EXPECT_EQ(core::verdictExitCode(core::Verdict::CounterexampleFound), 1);
+  EXPECT_EQ(core::verdictExitCode(core::Verdict::Timeout), 4);
+  EXPECT_EQ(core::verdictExitCode(core::Verdict::MemOut), 4);
 }
 
 TEST(Cli, DimacsExportRoundTripsThroughSolver) {

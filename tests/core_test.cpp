@@ -20,8 +20,8 @@ TEST_P(VerifyGrid, BothStrategiesProveCorrectDesign) {
     VerifyOptions opts;
     opts.strategy = Strategy::RewritingPlusPositiveEquality;
     const VerifyReport rep = verify({n, k}, {}, opts);
-    EXPECT_EQ(rep.verdict, Verdict::Correct)
-        << rep.rewriteMessage << " slice " << rep.rewriteFailedSlice;
+    EXPECT_EQ(rep.verdict(), Verdict::Correct)
+        << rep.outcome.reason << " slice " << rep.outcome.failedSlice;
     // The paper's Table 5 property: no e_ij variables after rewriting.
     EXPECT_EQ(rep.evcStats.eijVars, 0u);
     EXPECT_EQ(rep.updatesRemoved, k + 2 * n);
@@ -32,7 +32,7 @@ TEST_P(VerifyGrid, BothStrategiesProveCorrectDesign) {
     VerifyOptions opts;
     opts.strategy = Strategy::PositiveEqualityOnly;
     const VerifyReport rep = verify({n, k}, {}, opts);
-    EXPECT_EQ(rep.verdict, Verdict::Correct);
+    EXPECT_EQ(rep.verdict(), Verdict::Correct);
     EXPECT_GT(rep.evcStats.eijVars, 0u);
   }
 }
@@ -61,9 +61,9 @@ TEST_P(VerifyBugs, RewritingFlagsBug) {
   VerifyOptions opts;
   opts.strategy = Strategy::RewritingPlusPositiveEquality;
   const VerifyReport rep = verify({p.n, p.k}, {p.kind, p.index}, opts);
-  EXPECT_EQ(rep.verdict, Verdict::RewriteMismatch);
-  EXPECT_GE(rep.rewriteFailedSlice, 1u);
-  EXPECT_FALSE(rep.rewriteMessage.empty());
+  EXPECT_EQ(rep.verdict(), Verdict::RewriteMismatch);
+  EXPECT_GE(rep.outcome.failedSlice, 1u);
+  EXPECT_FALSE(rep.outcome.reason.empty());
 }
 
 TEST_P(VerifyBugs, PositiveEqualityOnlyVerdict) {
@@ -72,11 +72,11 @@ TEST_P(VerifyBugs, PositiveEqualityOnlyVerdict) {
   opts.strategy = Strategy::PositiveEqualityOnly;
   const VerifyReport rep = verify({p.n, p.k}, {p.kind, p.index}, opts);
   if (p.peOnlyFindsCounterexample) {
-    EXPECT_EQ(rep.verdict, Verdict::CounterexampleFound);
+    EXPECT_EQ(rep.verdict(), Verdict::CounterexampleFound);
   } else {
     // A completion-function defect changes the abstraction function on both
     // sides of the diagram, so the safety criterion still holds.
-    EXPECT_EQ(rep.verdict, Verdict::Correct);
+    EXPECT_EQ(rep.verdict(), Verdict::Correct);
   }
 }
 
@@ -104,11 +104,14 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Verify, ReportTimingsPopulated) {
   const VerifyReport rep = verify({4, 2});
-  EXPECT_GE(rep.simSeconds, 0.0);
-  EXPECT_GE(rep.totalSeconds(), rep.satSeconds);
-  EXPECT_EQ(rep.satResult, sat::Result::Unsat);
+  EXPECT_GE(rep.simSeconds(), 0.0);
+  EXPECT_GE(rep.totalSeconds(), rep.satSeconds());
+  EXPECT_EQ(rep.outcome.satResult, sat::Result::Unsat);
   EXPECT_GT(rep.evcStats.cnfClauses, 0u);
   EXPECT_GT(rep.simStats.signalEvals, 0u);
+  // Budget accounting is populated even for unbudgeted runs.
+  EXPECT_GT(rep.outcome.peakArenaBytes, 0u);
+  EXPECT_FALSE(rep.outcome.budgetExceeded());
 }
 
 TEST(Verify, ConflictBudgetGivesInconclusive) {
@@ -116,9 +119,11 @@ TEST(Verify, ConflictBudgetGivesInconclusive) {
   // complete the proof.
   VerifyOptions opts;
   opts.strategy = Strategy::PositiveEqualityOnly;
-  opts.satConflictBudget = 1;
+  opts.budget.satConflicts = 1;
   const VerifyReport rep = verify({4, 2}, {}, opts);
-  EXPECT_EQ(rep.verdict, Verdict::Inconclusive);
+  EXPECT_EQ(rep.verdict(), Verdict::Inconclusive);
+  EXPECT_FALSE(rep.outcome.budgetExceeded());
+  EXPECT_FALSE(rep.outcome.reason.empty());
 }
 
 TEST(Verify, NaiveSimulationGivesSameVerdict) {
@@ -126,8 +131,8 @@ TEST(Verify, NaiveSimulationGivesSameVerdict) {
   naive.sim.coneOfInfluence = false;
   const VerifyReport a = verify({4, 2}, {}, coi);
   const VerifyReport b = verify({4, 2}, {}, naive);
-  EXPECT_EQ(a.verdict, Verdict::Correct);
-  EXPECT_EQ(b.verdict, Verdict::Correct);
+  EXPECT_EQ(a.verdict(), Verdict::Correct);
+  EXPECT_EQ(b.verdict(), Verdict::Correct);
   // The naive mode must do strictly more evaluation work.
   EXPECT_GT(b.simStats.signalEvals, a.simStats.signalEvals);
 }

@@ -44,8 +44,8 @@ TEST(Grid, ParallelVerdictsIdenticalToSequential) {
     EXPECT_EQ(parallel[i].cell.robSize, cells[i].robSize);
     EXPECT_EQ(parallel[i].cell.issueWidth, cells[i].issueWidth);
     // Identical verdicts and identical translated formulas.
-    EXPECT_EQ(sequential[i].report.verdict, Verdict::Correct);
-    EXPECT_EQ(parallel[i].report.verdict, sequential[i].report.verdict);
+    EXPECT_EQ(sequential[i].report.verdict(), Verdict::Correct);
+    EXPECT_EQ(parallel[i].report.verdict(), sequential[i].report.verdict());
     EXPECT_EQ(parallel[i].report.evcStats.cnfVars,
               sequential[i].report.evcStats.cnfVars);
     EXPECT_EQ(parallel[i].report.evcStats.cnfClauses,
@@ -63,9 +63,9 @@ TEST(Grid, BuggyCellReportsMismatchUnderParallelRun) {
   GridOptions opts;
   opts.jobs = 2;
   const auto results = runGrid(cells, opts);
-  EXPECT_EQ(results[0].report.verdict, Verdict::Correct);
-  EXPECT_EQ(results[1].report.verdict, Verdict::RewriteMismatch);
-  EXPECT_EQ(results[1].report.rewriteFailedSlice, 2u);
+  EXPECT_EQ(results[0].report.verdict(), Verdict::Correct);
+  EXPECT_EQ(results[1].report.verdict(), Verdict::RewriteMismatch);
+  EXPECT_EQ(results[1].report.outcome.failedSlice, 2u);
 }
 
 TEST(Grid, CancelledBeforeRunSkipsEveryCell) {
@@ -81,7 +81,9 @@ TEST(Grid, CancelledBeforeRunSkipsEveryCell) {
     for (std::size_t i = 0; i < results.size(); ++i) {
       EXPECT_TRUE(results[i].skipped) << "jobs " << jobs << " cell " << i;
       EXPECT_EQ(results[i].cell.robSize, cells[i].robSize);
-      EXPECT_EQ(results[i].report.verdict, Verdict::Inconclusive);
+      // Skipped cells carry their own verdict, not an Inconclusive alias.
+      EXPECT_EQ(results[i].report.verdict(), Verdict::Skipped);
+      EXPECT_FALSE(results[i].report.outcome.reason.empty());
     }
   }
 }

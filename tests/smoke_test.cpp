@@ -12,8 +12,8 @@ TEST(Smoke, CorrectDesignRewriteStrategy) {
   core::VerifyOptions opts;
   opts.strategy = core::Strategy::RewritingPlusPositiveEquality;
   const auto rep = core::verify(cfg, {}, opts);
-  EXPECT_EQ(rep.verdict, core::Verdict::Correct) << rep.rewriteMessage
-      << " (slice " << rep.rewriteFailedSlice << ")";
+  EXPECT_EQ(rep.verdict(), core::Verdict::Correct) << rep.outcome.reason
+      << " (slice " << rep.outcome.failedSlice << ")";
   EXPECT_EQ(rep.evcStats.eijVars, 0u);
 }
 
@@ -22,7 +22,7 @@ TEST(Smoke, CorrectDesignPositiveEqualityOnly) {
   core::VerifyOptions opts;
   opts.strategy = core::Strategy::PositiveEqualityOnly;
   const auto rep = core::verify(cfg, {}, opts);
-  EXPECT_EQ(rep.verdict, core::Verdict::Correct);
+  EXPECT_EQ(rep.verdict(), core::Verdict::Correct);
 }
 
 TEST(Smoke, BuggyForwardingIsCaught) {
@@ -31,8 +31,8 @@ TEST(Smoke, BuggyForwardingIsCaught) {
   core::VerifyOptions opts;
   opts.strategy = core::Strategy::RewritingPlusPositiveEquality;
   const auto rep = core::verify(cfg, bug, opts);
-  EXPECT_EQ(rep.verdict, core::Verdict::RewriteMismatch);
-  EXPECT_EQ(rep.rewriteFailedSlice, 3u);
+  EXPECT_EQ(rep.verdict(), core::Verdict::RewriteMismatch);
+  EXPECT_EQ(rep.outcome.failedSlice, 3u);
 }
 
 }  // namespace

@@ -4,7 +4,7 @@
 //   $ velev_verify --size 128 --width 4 --bug fwd:72
 //   $ velev_verify --size 4 --width 2 --strategy pe --dump-cnf out.cnf
 //   $ velev_verify --size 2 --width 1 --strategy pe --proof out.drat
-//   $ velev_verify --size 4 --width 4 --strategy pe --jobs 4
+//   $ velev_verify --size 16 --width 4 --strategy pe --mem-budget 1024
 //   $ velev_verify --grid "sizes=16,32,64;widths=1,2,4" --jobs 8 --json g.json
 //
 // Options:
@@ -21,6 +21,14 @@
 //   --bug KIND:SLICE  inject a defect: fwd | stale | retire | alu |
 //                     completion, at the given 1-based slice
 //   --budget N        SAT conflict budget (default unlimited)
+//   --timeout SECS    wall-clock budget per cell; exhaustion degrades into
+//                     verdict `timeout` instead of running forever
+//   --mem-budget MB   logical-arena memory budget per cell; exhaustion
+//                     degrades into verdict `memout` instead of an OOM kill
+//                     (how Table 2's "out of memory" entries reproduce)
+//   --fallback P      grid mode: none (default) | rewrite — retry a cell
+//                     whose PE-only attempt exhausted its budget with the
+//                     rewriting strategy (the paper's headline comparison)
 //   --no-coi          disable the cone-of-influence simulator optimization
 //   --dump-cnf FILE   write the correctness CNF in DIMACS format
 //   --proof FILE      log a DRAT proof and self-check it on UNSAT
@@ -28,26 +36,18 @@
 //                     benches' BENCH_<name>.json)
 //   --quiet           print only the verdict line(s)
 //
-// Exit code: 0 correct, 1 bug found / mismatch, 2 usage error,
-//            3 inconclusive (budget). Grid mode aggregates: any bug -> 1,
-//            else any inconclusive/skipped -> 3, else 0.
+// Exit code (core::verdictExitCode — one mapping shared with the benches
+// and cli_test): 0 correct, 1 bug found / mismatch, 2 usage error,
+// 3 inconclusive/skipped, 4 timeout/memout. Grid mode aggregates by
+// severity: any bug -> 1, else any timeout/memout -> 4, else any
+// inconclusive/skipped -> 3, else 0.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
-#include "core/diagram.hpp"
-#include "core/grid_runner.hpp"
-#include "evc/translate.hpp"
-#include "models/spec.hpp"
-#include "rewrite/engine.hpp"
-#include "sat/drat.hpp"
-#include "sat/portfolio.hpp"
-#include "sat/solver.hpp"
-#include "support/json.hpp"
-#include "support/mem.hpp"
-#include "support/timer.hpp"
+#include "velev.hpp"
 
 using namespace velev;
 
@@ -142,15 +142,69 @@ void writeJsonReport(const char* path, const char* mode, unsigned jobs,
     w.beginObject();
     w.kv("rob_size", r.cell.robSize);
     w.kv("width", r.cell.issueWidth);
-    w.kv("verdict", r.skipped ? "skipped" : verdictName(r.report.verdict));
+    w.kv("verdict", verdictName(r.report.verdict()));
+    if (!r.report.outcome.reason.empty())
+      w.kv("reason", r.report.outcome.reason);
     w.kv("wall_seconds", r.wallSeconds);
     w.kv("sat_conflicts", r.report.satStats.conflicts);
+    w.kv("peak_arena_bytes", r.report.outcome.peakArenaBytes);
     w.kv("mem_high_water_kb", r.memHighWaterKb);
+    if (r.fellBack) {
+      w.kv("fell_back", true);
+      w.kv("first_verdict", verdictName(r.firstVerdict));
+    }
     w.endObject();
   }
   w.endArray();
   w.kv("total_wall_seconds", totalSeconds);
   w.endObject();
+}
+
+void printCellLine(const core::GridCellResult& r) {
+  const unsigned n = r.cell.robSize, k = r.cell.issueWidth;
+  switch (r.report.verdict()) {
+    case core::Verdict::Correct:
+      std::printf("cell %ux%u: CORRECT (%.3f s)\n", n, k, r.wallSeconds);
+      break;
+    case core::Verdict::CounterexampleFound:
+      std::printf("cell %ux%u: COUNTEREXAMPLE FOUND (%.3f s)\n", n, k,
+                  r.wallSeconds);
+      break;
+    case core::Verdict::RewriteMismatch:
+      std::printf("cell %ux%u: NON-CONFORMING SLICE %u (%s)\n", n, k,
+                  r.report.outcome.failedSlice,
+                  r.report.outcome.reason.c_str());
+      break;
+    case core::Verdict::Inconclusive:
+      std::printf("cell %ux%u: INCONCLUSIVE (%.3f s)\n", n, k, r.wallSeconds);
+      break;
+    case core::Verdict::Timeout:
+      std::printf("cell %ux%u: TIMEOUT (%.3f s)\n", n, k, r.wallSeconds);
+      break;
+    case core::Verdict::MemOut:
+      std::printf("cell %ux%u: OUT OF MEMORY (%.3f s)\n", n, k,
+                  r.wallSeconds);
+      break;
+    case core::Verdict::Skipped:
+      std::printf("cell %ux%u: SKIPPED\n", n, k);
+      break;
+  }
+  if (r.fellBack)
+    std::printf("cell %ux%u: retried with rewriting after PE-only %s\n", n, k,
+                verdictName(r.firstVerdict));
+}
+
+int aggregateExitCode(const std::vector<core::GridCellResult>& results) {
+  // Severity order across cells: refuted > budget-exceeded > inconclusive.
+  auto severity = [](int code) {
+    return code == 1 ? 3 : code == 4 ? 2 : code == 3 ? 1 : 0;
+  };
+  int worst = 0;
+  for (const auto& r : results) {
+    const int code = core::verdictExitCode(r.report.verdict());
+    if (severity(code) > severity(worst)) worst = code;
+  }
+  return worst;
 }
 
 int runGridMode(const std::vector<core::GridCell>& cells,
@@ -160,43 +214,13 @@ int runGridMode(const std::vector<core::GridCell>& cells,
   const std::vector<core::GridCellResult> results =
       core::runGrid(cells, gopts);
   const double totalSec = total.seconds();
-  bool anyBug = false, anyInconclusive = false;
-  for (const auto& r : results) {
-    if (r.skipped) {
-      anyInconclusive = true;
-      std::printf("cell %ux%u: SKIPPED\n", r.cell.robSize, r.cell.issueWidth);
-      continue;
-    }
-    switch (r.report.verdict) {
-      case core::Verdict::Correct:
-        std::printf("cell %ux%u: CORRECT (%.3f s)\n", r.cell.robSize,
-                    r.cell.issueWidth, r.wallSeconds);
-        break;
-      case core::Verdict::CounterexampleFound:
-        anyBug = true;
-        std::printf("cell %ux%u: COUNTEREXAMPLE FOUND (%.3f s)\n",
-                    r.cell.robSize, r.cell.issueWidth, r.wallSeconds);
-        break;
-      case core::Verdict::RewriteMismatch:
-        anyBug = true;
-        std::printf("cell %ux%u: NON-CONFORMING SLICE %u (%s)\n",
-                    r.cell.robSize, r.cell.issueWidth,
-                    r.report.rewriteFailedSlice,
-                    r.report.rewriteMessage.c_str());
-        break;
-      case core::Verdict::Inconclusive:
-        anyInconclusive = true;
-        std::printf("cell %ux%u: INCONCLUSIVE (%.3f s)\n", r.cell.robSize,
-                    r.cell.issueWidth, r.wallSeconds);
-        break;
-    }
-  }
+  for (const auto& r : results) printCellLine(r);
   if (!quiet)
     std::printf("grid: %zu cells in %.3f s with %u jobs\n", results.size(),
                 totalSec, gopts.jobs);
   if (jsonPath)
     writeJsonReport(jsonPath, "grid", gopts.jobs, results, totalSec);
-  return anyBug ? 1 : anyInconclusive ? 3 : 0;
+  return aggregateExitCode(results);
 }
 
 }  // namespace
@@ -204,7 +228,8 @@ int runGridMode(const std::vector<core::GridCell>& cells,
 int main(int argc, char** argv) {
   unsigned size = 8, width = 2, jobs = 1;
   bool peOnly = false, quiet = false, coi = true;
-  std::int64_t budget = -1;
+  ResourceBudget budget;
+  core::FallbackPolicy fallback = core::FallbackPolicy::None;
   models::BugSpec bug;
   const char* dumpCnf = nullptr;
   const char* proofPath = nullptr;
@@ -234,8 +259,20 @@ int main(int argc, char** argv) {
       if (colon == std::string::npos) usage("--bug expects KIND:SLICE");
       bug.kind = parseBugKind(s.substr(0, colon));
       bug.index = std::atoi(s.c_str() + colon + 1);
-    } else if (a == "--budget") budget = std::atoll(next());
-    else if (a == "--no-coi") coi = false;
+    } else if (a == "--budget") budget.satConflicts = std::atoll(next());
+    else if (a == "--timeout") {
+      budget.wallSeconds = std::atof(next());
+      if (budget.wallSeconds <= 0) usage("--timeout must be > 0 seconds");
+    } else if (a == "--mem-budget") {
+      const long mb = std::atol(next());
+      if (mb <= 0) usage("--mem-budget must be > 0 MiB");
+      budget.memoryBytes = static_cast<std::size_t>(mb) * 1024u * 1024u;
+    } else if (a == "--fallback") {
+      const std::string s = next();
+      if (s == "rewrite") fallback = core::FallbackPolicy::RetryWithRewriting;
+      else if (s == "none") fallback = core::FallbackPolicy::None;
+      else usage(("unknown fallback policy: " + s).c_str());
+    } else if (a == "--no-coi") coi = false;
     else if (a == "--dump-cnf") dumpCnf = next();
     else if (a == "--proof") proofPath = next();
     else if (a == "--json") jsonPath = next();
@@ -252,8 +289,9 @@ int main(int argc, char** argv) {
     gopts.verify.strategy = peOnly
         ? core::Strategy::PositiveEqualityOnly
         : core::Strategy::RewritingPlusPositiveEquality;
-    gopts.verify.satConflictBudget = budget;
+    gopts.verify.budget = budget;
     gopts.verify.sim.coneOfInfluence = coi;
+    gopts.fallback = fallback;
     std::vector<core::GridCell> cells = parseGridSpec(gridSpec);
     for (core::GridCell& c : cells) c.bug = bug;
     return runGridMode(cells, gopts, jsonPath, quiet);
@@ -261,9 +299,29 @@ int main(int argc, char** argv) {
 
   if (width < 1 || width > size) usage("need 1 <= width <= size");
 
-  // Build + simulate.
+  // The whole single-configuration pipeline runs under one governor; a
+  // budget exhausted anywhere unwinds to the handler at the bottom and
+  // degrades into a timeout/memout verdict.
+  BudgetGovernor gov(budget);
+
+  // Collected for --json (single-cell report reuses the grid schema).
   Timer total;
+  core::GridCellResult cellOut;
+  cellOut.cell = core::GridCell{size, width, bug};
+  auto finishJson = [&](core::Verdict v) {
+    cellOut.report.outcome.verdict = v;
+    cellOut.report.outcome.peakArenaBytes = gov.peakArenaBytes();
+    cellOut.wallSeconds = total.seconds();
+    cellOut.memHighWaterKb = rssHighWaterKb();
+    if (jsonPath)
+      writeJsonReport(jsonPath, "single", jobs, {cellOut}, total.seconds());
+    return core::verdictExitCode(v);
+  };
+
+  try {
+  // Build + simulate.
   eufm::Context cx;
+  cx.setBudget(&gov);
   const models::Isa isa = models::Isa::declare(cx);
   const models::OoOConfig cfg{size, width};
   auto impl = models::buildOoO(cx, isa, cfg, bug);
@@ -280,17 +338,6 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     d.implSimStats.signalEvals + d.flushSimStats.signalEvals));
 
-  // Collected for --json (single-cell report reuses the grid schema).
-  core::GridCellResult cellOut;
-  cellOut.cell = core::GridCell{size, width, bug};
-  auto finishJson = [&](core::Verdict v) {
-    if (!jsonPath) return;
-    cellOut.report.verdict = v;
-    cellOut.wallSeconds = total.seconds();
-    cellOut.memHighWaterKb = rssHighWaterKb();
-    writeJsonReport(jsonPath, "single", jobs, {cellOut}, total.seconds());
-  };
-
   // Rewriting rules (unless PE-only).
   eufm::Expr correctness = d.correctness;
   evc::TranslateOptions topts;
@@ -301,10 +348,9 @@ int main(int argc, char** argv) {
     if (!rw.ok) {
       std::printf("verdict: NON-CONFORMING SLICE %u (%s) after %.3f s\n",
                   rw.failedSlice, rw.message.c_str(), t.seconds());
-      cellOut.report.rewriteFailedSlice = rw.failedSlice;
-      cellOut.report.rewriteMessage = rw.message;
-      finishJson(core::Verdict::RewriteMismatch);
-      return 1;
+      cellOut.report.outcome.failedSlice = rw.failedSlice;
+      cellOut.report.outcome.reason = rw.message;
+      return finishJson(core::Verdict::RewriteMismatch);
     }
     if (!quiet)
       std::printf("rewriting rules removed %u updates in %.3f s\n",
@@ -334,13 +380,15 @@ int main(int argc, char** argv) {
   // Solve — with a seed portfolio of `jobs` racing instances when jobs > 1.
   sat::PortfolioOptions popts;
   popts.instances = jobs;
-  popts.conflictBudget = budget;
+  popts.conflictBudget = budget.satConflicts;
   popts.wantProof = proofPath != nullptr;
+  popts.budget = &gov;
   sat::PortfolioReport prep;
   t.reset();
   const sat::Result r = sat::solvePortfolio(tr.cnf, popts, &prep);
   const double satSec = t.seconds();
   cellOut.report.satStats = prep.winnerStats;
+  cellOut.report.outcome.satResult = r;
   if (!quiet && jobs > 1)
     std::printf("portfolio: %u instances, instance %d (seed %llu) won\n",
                 jobs, prep.winner,
@@ -357,17 +405,30 @@ int main(int argc, char** argv) {
         if (!certified) return 2;
       }
       std::printf("verdict: CORRECT (UNSAT in %.3f s)\n", satSec);
-      finishJson(core::Verdict::Correct);
-      return 0;
+      return finishJson(core::Verdict::Correct);
     case sat::Result::Sat:
       std::printf("verdict: COUNTEREXAMPLE FOUND (SAT in %.3f s)\n", satSec);
-      finishJson(core::Verdict::CounterexampleFound);
-      return 1;
+      return finishJson(core::Verdict::CounterexampleFound);
     default:
+      if (gov.exceeded()) {
+        const bool mem = gov.exceededKind() == BudgetKind::Memory;
+        std::printf("verdict: %s (%s after %.3f s)\n",
+                    mem ? "OUT OF MEMORY" : "TIMEOUT",
+                    gov.exceededReason().c_str(), satSec);
+        cellOut.report.outcome.reason = gov.exceededReason();
+        return finishJson(mem ? core::Verdict::MemOut
+                              : core::Verdict::Timeout);
+      }
       std::printf("verdict: INCONCLUSIVE (budget exhausted after %.3f s)\n",
                   satSec);
-      finishJson(core::Verdict::Inconclusive);
-      return 3;
+      return finishJson(core::Verdict::Inconclusive);
+  }
+  } catch (const BudgetExceeded& e) {
+    const bool mem = e.kind() == BudgetKind::Memory;
+    std::printf("verdict: %s (%s after %.3f s)\n",
+                mem ? "OUT OF MEMORY" : "TIMEOUT", e.what(), total.seconds());
+    cellOut.report.outcome.reason = e.what();
+    return finishJson(mem ? core::Verdict::MemOut : core::Verdict::Timeout);
   }
   } catch (const InternalError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
