@@ -71,10 +71,14 @@ inline ResourceBudget parseBudget(double timeoutSecs, double memBudgetMb,
 //   { "bench": str, "jobs": uint, "cells": [ { "rob_size": uint,
 //     "width": uint, "label": str, "verdict": str, "reason": str,
 //     "wall_seconds": num, "sat_conflicts": uint, "peak_arena_bytes": uint,
-//     "mem_high_water_kb": uint, "fell_back": bool, "first_verdict": str }
+//     "mem_high_water_kb": uint, "fell_back": bool, "first_verdict": str,
+//     "counters": { str: uint ... } }
 //     ... ], "notes": { str: num ... }, "total_wall_seconds": num }
 // "reason"/"fell_back"/"first_verdict" are present only when meaningful;
 // "verdict" includes the budget verdicts "timeout" and "memout".
+// "counters" is the canonical paper-aligned counter block
+// (core::reportCounters — the same names the --trace manifests record; see
+// docs/TRACE_FORMAT.md), present when the cell came from a VerifyReport.
 
 struct JsonCell {
   unsigned robSize = 0;
@@ -88,6 +92,7 @@ struct JsonCell {
   std::size_t memHighWaterKb = 0;
   bool fellBack = false;
   std::string firstVerdict;  // pre-fallback verdict when fellBack
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 
 class JsonReport {
@@ -110,6 +115,7 @@ class JsonReport {
     c.memHighWaterKb = r.memHighWaterKb;
     c.fellBack = r.fellBack;
     if (r.fellBack) c.firstVerdict = core::verdictName(r.firstVerdict);
+    c.counters = core::reportCounters(r.report);
     cells_.push_back(std::move(c));
   }
 
@@ -142,6 +148,12 @@ class JsonReport {
       if (c.fellBack) {
         w.kv("fell_back", true);
         w.kv("first_verdict", c.firstVerdict);
+      }
+      if (!c.counters.empty()) {
+        w.key("counters");
+        w.beginObject();
+        for (const auto& [name, value] : c.counters) w.kv(name, value);
+        w.endObject();
       }
       w.endObject();
     }

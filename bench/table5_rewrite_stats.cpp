@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
     jc.wallSeconds = cols[i].wallSeconds;
     jc.satConflicts = cols[i].rep.satStats.conflicts;
     jc.memHighWaterKb = rssHighWaterKb();
+    jc.counters = core::reportCounters(cols[i].rep);
     json.add(jc);
   }
 
@@ -100,6 +101,10 @@ int main(int argc, char** argv) {
       [&](const Col& c) { return num(c.rep.evcStats.cnfVars); });
   row("CNF clauses",
       [&](const Col& c) { return num(c.rep.evcStats.cnfClauses); });
+  row("rewrite rules fired",
+      [&](const Col& c) { return num(c.rep.rewriteStats.rulesFired()); });
+  row("ROB updates removed",
+      [&](const Col& c) { return num(c.rep.updatesRemoved); });
   row("SAT time [s]", [&](const Col& c) {
     char b[32];
     std::snprintf(b, sizeof b, "%.2f", c.rep.satSeconds());

@@ -1,7 +1,10 @@
 #include "core/grid_runner.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <future>
+#include <map>
 
 #include "support/mem.hpp"
 #include "support/timer.hpp"
@@ -9,6 +12,26 @@
 namespace velev::core {
 
 namespace {
+
+/// File stem shared by the two per-cell output files.
+std::string cellFileStem(const GridCell& cell, std::size_t index) {
+  return "cell_" + std::to_string(index) + "_" +
+         std::to_string(cell.robSize) + "x" +
+         std::to_string(cell.issueWidth);
+}
+
+/// Write the two per-cell trace artifacts. Each worker writes only its own
+/// cell's files (distinct names), so no cross-thread coordination needed.
+void writeCellTrace(const std::string& dir, std::size_t index,
+                    const GridCellResult& res, const VerifyOptions& vopts,
+                    const trace::Collector& collector) {
+  const std::string stem = dir + "/" + cellFileStem(res.cell, index);
+  if (std::ofstream os(stem + ".trace.json"); os)
+    collector.writeChromeTrace(os);
+  if (std::ofstream os(stem + ".manifest.json"); os)
+    trace::writeManifest(os, cellManifestData(res, vopts, "velev_grid"),
+                         &collector);
+}
 
 GridCellResult skippedCell(const GridCell& cell) {
   GridCellResult res;
@@ -19,29 +42,86 @@ GridCellResult skippedCell(const GridCell& cell) {
   return res;
 }
 
-GridCellResult runCell(const GridCell& cell, const GridOptions& opts) {
+GridCellResult runCell(const GridCell& cell, const GridOptions& opts,
+                       std::size_t index) {
   GridCellResult res;
   res.cell = cell;
   Timer t;
-  // verify() builds a fresh eufm::Context and arms a fresh BudgetGovernor
-  // for this cell (the one-context-per-cell ownership rule; see the
-  // header), so budgets are strictly per cell.
-  const models::OoOConfig cfg{cell.robSize, cell.issueWidth};
-  res.report = verify(cfg, cell.bug, opts.verify);
+  // One Collector per cell, mirroring the one-Context-per-cell rule: the
+  // attachment is thread-local, so concurrent cells never share a sink.
+  trace::Collector collector;
+  const bool traced = !opts.traceDir.empty();
+  {
+    trace::Use tracing(traced ? &collector : nullptr);
+    // verify() builds a fresh eufm::Context and arms a fresh BudgetGovernor
+    // for this cell (the one-context-per-cell ownership rule; see the
+    // header), so budgets are strictly per cell.
+    const models::OoOConfig cfg{cell.robSize, cell.issueWidth};
+    res.report = verify(cfg, cell.bug, opts.verify);
 
-  if (opts.fallback == FallbackPolicy::RetryWithRewriting &&
-      res.report.outcome.budgetExceeded() &&
-      opts.verify.strategy == Strategy::PositiveEqualityOnly) {
-    res.fellBack = true;
-    res.firstVerdict = res.report.outcome.verdict;
-    VerifyOptions retry = opts.verify;
-    retry.strategy = Strategy::RewritingPlusPositiveEquality;
-    res.report = verify(cfg, cell.bug, retry);
+    if (opts.fallback == FallbackPolicy::RetryWithRewriting &&
+        res.report.outcome.budgetExceeded() &&
+        opts.verify.strategy == Strategy::PositiveEqualityOnly) {
+      res.fellBack = true;
+      res.firstVerdict = res.report.outcome.verdict;
+      VerifyOptions retry = opts.verify;
+      retry.strategy = Strategy::RewritingPlusPositiveEquality;
+      res.report = verify(cfg, cell.bug, retry);
+    }
   }
 
   res.wallSeconds = t.seconds();
   res.memHighWaterKb = rssHighWaterKb();
+  if (traced) writeCellTrace(opts.traceDir, index, res, opts.verify, collector);
   return res;
+}
+
+/// The whole-grid roll-up: per-stage seconds and counters summed over the
+/// cells, verdict "correct" only if every non-skipped cell is.
+void writeGridManifest(const std::string& dir, const GridOptions& opts,
+                       std::span<const GridCellResult> results) {
+  trace::ManifestData m;
+  m.tool = "velev_grid";
+  m.config.emplace_back("cells", std::to_string(results.size()));
+  m.config.emplace_back("jobs", std::to_string(opts.jobs));
+  m.config.emplace_back("strategy", strategyName(opts.verify.strategy));
+  m.config.emplace_back(
+      "fallback", opts.fallback == FallbackPolicy::RetryWithRewriting
+                      ? "retry-with-rewriting"
+                      : "none");
+  m.budgetWallSeconds = opts.verify.budget.wallSeconds;
+  m.budgetMemoryBytes = opts.verify.budget.memoryBytes;
+  m.budgetSatConflicts = opts.verify.budget.satConflicts;
+
+  StageSeconds total;
+  std::map<std::string, std::uint64_t> counters;
+  Verdict worst = Verdict::Correct;
+  for (const GridCellResult& r : results) {
+    const StageSeconds& s = r.report.outcome.seconds;
+    total.sim += s.sim;
+    total.rewrite += s.rewrite;
+    total.translate += s.translate;
+    total.sat += s.sat;
+    m.peakArenaBytes =
+        std::max(m.peakArenaBytes,
+                 static_cast<std::uint64_t>(r.report.outcome.peakArenaBytes));
+    m.rssHighWaterKb =
+        std::max(m.rssHighWaterKb,
+                 static_cast<std::uint64_t>(r.report.outcome.rssHighWaterKb));
+    for (const auto& [name, value] : reportCounters(r.report))
+      counters[name] += value;
+    if (r.report.outcome.verdict != Verdict::Correct &&
+        worst == Verdict::Correct)
+      worst = r.report.outcome.verdict;
+  }
+  m.verdict = verdictName(worst);
+  m.stageSeconds = {{"sim", total.sim},
+                    {"rewrite", total.rewrite},
+                    {"translate", total.translate},
+                    {"sat", total.sat}};
+  m.counters.assign(counters.begin(), counters.end());
+  if (std::ofstream os(dir + "/manifest.json"); os)
+    trace::writeManifest(os, m, nullptr);
 }
 
 }  // namespace
@@ -50,6 +130,8 @@ std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
                                     const GridOptions& opts,
                                     CancelToken* cancel) {
   std::vector<GridCellResult> results(cells.size());
+  if (!opts.traceDir.empty())
+    std::filesystem::create_directories(opts.traceDir);
 
   if (opts.jobs <= 1) {
     for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -57,8 +139,10 @@ std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
         results[i] = skippedCell(cells[i]);
         continue;
       }
-      results[i] = runCell(cells[i], opts);
+      results[i] = runCell(cells[i], opts, i);
     }
+    if (!opts.traceDir.empty())
+      writeGridManifest(opts.traceDir, opts, results);
     return results;
   }
 
@@ -70,7 +154,7 @@ std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
   done.reserve(cells.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
     done.push_back(pool.submit(token, [&results, &cells, &opts, i] {
-      results[i] = runCell(cells[i], opts);
+      results[i] = runCell(cells[i], opts, i);
     }));
   }
   for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -80,7 +164,44 @@ std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
       results[i] = skippedCell(cells[i]);
     }
   }
+  if (!opts.traceDir.empty()) writeGridManifest(opts.traceDir, opts, results);
   return results;
+}
+
+trace::ManifestData cellManifestData(const GridCellResult& res,
+                                     const VerifyOptions& opts,
+                                     std::string_view tool) {
+  trace::ManifestData m;
+  m.tool = std::string(tool);
+  m.config.emplace_back("rob_size", std::to_string(res.cell.robSize));
+  m.config.emplace_back("issue_width", std::to_string(res.cell.issueWidth));
+  m.config.emplace_back("strategy", strategyName(opts.strategy));
+  m.config.emplace_back("uf_scheme",
+                        opts.ufScheme == evc::UfScheme::NestedIte
+                            ? "nested-ite"
+                            : "ackermann");
+  if (res.cell.bug.kind != models::BugKind::None) {
+    m.config.emplace_back(
+        "bug_kind",
+        std::to_string(static_cast<unsigned>(res.cell.bug.kind)));
+    m.config.emplace_back("bug_index", std::to_string(res.cell.bug.index));
+  }
+  if (res.fellBack)
+    m.config.emplace_back("first_verdict", verdictName(res.firstVerdict));
+  m.budgetWallSeconds = opts.budget.wallSeconds;
+  m.budgetMemoryBytes = opts.budget.memoryBytes;
+  m.budgetSatConflicts = opts.budget.satConflicts;
+  m.verdict = verdictName(res.report.outcome.verdict);
+  m.reason = res.report.outcome.reason;
+  const StageSeconds& s = res.report.outcome.seconds;
+  m.stageSeconds = {{"sim", s.sim},
+                    {"rewrite", s.rewrite},
+                    {"translate", s.translate},
+                    {"sat", s.sat}};
+  m.peakArenaBytes = res.report.outcome.peakArenaBytes;
+  m.rssHighWaterKb = res.report.outcome.rssHighWaterKb;
+  m.counters = reportCounters(res.report);
+  return m;
 }
 
 std::vector<GridCell> makeGrid(std::span<const unsigned> sizes,

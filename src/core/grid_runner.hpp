@@ -22,10 +22,12 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/verifier.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace velev::core {
 
@@ -60,6 +62,13 @@ struct GridOptions {
   unsigned jobs = 1;       // worker threads; 1 = run in the calling thread
   VerifyOptions verify;    // applied to every cell (budget is per cell)
   FallbackPolicy fallback = FallbackPolicy::None;
+  /// When non-empty: each cell attaches its own trace::Collector (the
+  /// one-Collector-per-cell analogue of the one-Context-per-cell rule) and
+  /// the runner writes `cell_<index>_<N>x<K>.trace.json` plus
+  /// `cell_<index>_<N>x<K>.manifest.json` into this directory, then one
+  /// merged `manifest.json` summing stage times and counters over the grid.
+  /// The directory is created if missing.
+  std::string traceDir;
 };
 
 /// Verify every cell of `cells`; results come back in input order. With
@@ -74,5 +83,13 @@ std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
 /// (width > size) exactly as the paper's tables print a dash for them.
 std::vector<GridCell> makeGrid(std::span<const unsigned> sizes,
                                std::span<const unsigned> widths);
+
+/// Flatten one finished cell into the manifest fields: tool name, config
+/// block (rob_size, issue_width, strategy, …), budget, verdict/reason,
+/// stage seconds and the canonical reportCounters() block. Shared by the
+/// grid runner's per-cell manifests and velev_verify's single-run one.
+trace::ManifestData cellManifestData(const GridCellResult& res,
+                                     const VerifyOptions& opts,
+                                     std::string_view tool = "velev_verify");
 
 }  // namespace velev::core

@@ -3,10 +3,15 @@
 #include "rewrite/engine.hpp"
 #include "support/mem.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace velev::core {
 
 using eufm::Expr;
+
+const char* strategyName(Strategy s) {
+  return s == Strategy::PositiveEqualityOnly ? "pe-only" : "rw+pe";
+}
 
 const char* verdictName(Verdict v) {
   switch (v) {
@@ -69,6 +74,62 @@ class ScopedContextBudget {
 
 }  // namespace
 
+// One linear scan of the DAG — done once at the end of a run, so the
+// interning hot path stays counter-free.
+ContextStats scanContext(const eufm::Context& cx) {
+  ContextStats s;
+  s.nodes = cx.numNodes();
+  s.arenaBytes = cx.memoryBytes();
+  for (Expr e = 0; e < cx.numNodes(); ++e) {
+    const eufm::Kind k = cx.kind(e);
+    if (k == eufm::Kind::Read) ++s.memoryReads;
+    else if (k == eufm::Kind::Write) ++s.memoryWrites;
+  }
+  return s;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> reportCounters(
+    const VerifyReport& rep) {
+  const evc::TranslationStats& ev = rep.evcStats;
+  const rewrite::RewriteStats& rw = rep.rewriteStats;
+  const sat::Stats& sa = rep.satStats;
+  return {
+      {"tlsim.cycles", rep.simStats.cycles},
+      {"tlsim.signal_evals", rep.simStats.signalEvals},
+      {"eufm.nodes", rep.cxStats.nodes},
+      {"eufm.memory_reads", rep.cxStats.memoryReads},
+      {"eufm.memory_writes", rep.cxStats.memoryWrites},
+      {"eufm.arena_bytes", rep.cxStats.arenaBytes},
+      {"rewrite.updates_removed", rep.updatesRemoved},
+      {"rewrite.rules_fired", rw.rulesFired()},
+      {"rewrite.slices_checked", rw.slicesChecked},
+      {"rewrite.context_checks", rw.contextChecks},
+      {"rewrite.moves_applied", rw.movesApplied},
+      {"rewrite.merges_applied", rw.mergesApplied},
+      {"rewrite.forwarding_matches", rw.forwardingMatches},
+      {"rewrite.slice_nodes_total", rw.sliceNodesTotal},
+      {"rewrite.slice_nodes_max", rw.sliceNodesMax},
+      {"evc.eij_vars", ev.eijVars},
+      {"evc.other_primary_vars", ev.otherPrimaryVars},
+      {"evc.p_equations", ev.pEquations},
+      {"evc.g_equations", ev.gEquations},
+      {"evc.g_vars", ev.gVars},
+      {"evc.memory_equations", ev.memoryEquations},
+      {"evc.fresh_term_vars", ev.freshTermVars},
+      {"evc.fresh_bool_vars", ev.freshBoolVars},
+      {"evc.transitivity_fill_in_edges", ev.transitivity.fillInEdges},
+      {"evc.transitivity_triangles", ev.transitivity.triangles},
+      {"evc.transitivity_clauses", ev.transitivity.clauses},
+      {"cnf.vars", ev.cnfVars},
+      {"cnf.clauses", ev.cnfClauses},
+      {"sat.decisions", sa.decisions},
+      {"sat.propagations", sa.propagations},
+      {"sat.conflicts", sa.conflicts},
+      {"sat.learnts", sa.learnts},
+      {"sat.restarts", sa.restarts},
+  };
+}
+
 VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
                         models::OoOProcessor& impl,
                         models::SpecProcessor& spec,
@@ -87,12 +148,22 @@ VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
     rep.outcome.verdict = v;
     rep.outcome.peakArenaBytes = gov.peakArenaBytes();
     rep.outcome.rssHighWaterKb = rssHighWaterKb();
+    rep.cxStats = scanContext(cx);
+    // Publish the canonical counter block on the attached collector (if
+    // any), so the manifest and the stage tree show it without the caller
+    // having to re-derive it from the report.
+    if (trace::Collector* c = trace::active())
+      for (const auto& [name, value] : reportCounters(rep))
+        c->setCounter(name, value);
     return rep;
   };
 
   try {
     // 1. Symbolic simulation of the commutative diagram.
-    Diagram d = buildDiagram(cx, impl, spec, opts.sim);
+    Diagram d = [&] {
+      TRACE_SPAN("verify.sim");
+      return buildDiagram(cx, impl, spec, opts.sim);
+    }();
     rep.simStats = d.implSimStats;
     rep.outcome.seconds.sim = timer.seconds();
 
@@ -106,8 +177,12 @@ VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
     if (opts.strategy == Strategy::RewritingPlusPositiveEquality) {
       timer.reset();
       stage = &rep.outcome.seconds.rewrite;
-      rewrite::RewriteResult rw = rewrite::rewriteRobUpdates(
-          cx, isa, impl.init, impl.config, d.implRegFile, d.specRegFile);
+      rewrite::RewriteResult rw = [&] {
+        TRACE_SPAN("verify.rewrite");
+        return rewrite::rewriteRobUpdates(cx, isa, impl.init, impl.config,
+                                          d.implRegFile, d.specRegFile);
+      }();
+      rep.rewriteStats = rw.stats;
       rep.outcome.seconds.rewrite = timer.seconds();
       if (!rw.ok) {
         rep.outcome.failedSlice = rw.failedSlice;
@@ -129,7 +204,10 @@ VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
     // 3. EUFM -> propositional -> CNF via Positive Equality.
     timer.reset();
     stage = &rep.outcome.seconds.translate;
-    evc::Translation tr = evc::translate(cx, correctness, topts);
+    evc::Translation tr = [&] {
+      TRACE_SPAN("verify.translate");
+      return evc::translate(cx, correctness, topts);
+    }();
     rep.evcStats = tr.stats;
     rep.outcome.seconds.translate = timer.seconds();
 
@@ -140,9 +218,12 @@ VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
     }
     timer.reset();
     stage = &rep.outcome.seconds.sat;
-    rep.outcome.satResult = sat::solveCnf(tr.cnf, nullptr, &rep.satStats,
-                                          opts.budget.satConflicts, nullptr,
-                                          &gov);
+    {
+      TRACE_SPAN("verify.sat");
+      rep.outcome.satResult = sat::solveCnf(tr.cnf, nullptr, &rep.satStats,
+                                            opts.budget.satConflicts, nullptr,
+                                            &gov);
+    }
     rep.outcome.seconds.sat = timer.seconds();
     timer.reset();
 

@@ -14,13 +14,17 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/diagram.hpp"
 #include "evc/translate.hpp"
 #include "models/ooo.hpp"
+#include "rewrite/engine.hpp"
 #include "sat/solver.hpp"
 #include "support/budget.hpp"
 
@@ -35,6 +39,10 @@ enum class Strategy {
   /// the conservative memory model (Tables 4-5).
   RewritingPlusPositiveEquality,
 };
+
+/// Stable lower-case name ("pe-only" / "rw+pe"), used by the CLI flags, the
+/// bench reports and the run manifests.
+const char* strategyName(Strategy s);
 
 struct VerifyOptions {
   Strategy strategy = Strategy::RewritingPlusPositiveEquality;
@@ -103,13 +111,29 @@ struct Outcome {
   }
 };
 
+/// EUFM context accounting taken by one O(numNodes) scan when a run
+/// finishes (never maintained on the interning hot path).
+struct ContextStats {
+  std::uint64_t nodes = 0;         // hash-consed DAG nodes
+  std::uint64_t memoryReads = 0;   // Kind::Read nodes
+  std::uint64_t memoryWrites = 0;  // Kind::Write nodes
+  std::uint64_t arenaBytes = 0;    // Context::memoryBytes()
+};
+
+/// Fill a ContextStats by one linear scan of the DAG. verifyWith() calls it
+/// when a run finishes; callers that hand-roll the pipeline (velev_verify's
+/// single mode) use it the same way.
+ContextStats scanContext(const eufm::Context& cx);
+
 struct VerifyReport {
   Outcome outcome;
 
   unsigned updatesRemoved = 0;  // rewriting strategy only
   evc::TranslationStats evcStats;
+  rewrite::RewriteStats rewriteStats;  // zeros on the PE-only strategy
   sat::Stats satStats;
   tlsim::Simulator::Stats simStats;
+  ContextStats cxStats;
 
   Verdict verdict() const { return outcome.verdict; }
   double simSeconds() const { return outcome.seconds.sim; }
@@ -117,21 +141,17 @@ struct VerifyReport {
   double translateSeconds() const { return outcome.seconds.translate; }
   double satSeconds() const { return outcome.seconds.sat; }
   double totalSeconds() const { return outcome.seconds.total(); }
-
-  // Pre-Outcome accessors, kept one release so out-of-tree callers of the
-  // old field names compile with a warning pointing at the replacement.
-  [[deprecated("use outcome.satResult")]] sat::Result satResult() const {
-    return outcome.satResult;
-  }
-  [[deprecated("use outcome.failedSlice")]] unsigned rewriteFailedSlice()
-      const {
-    return outcome.failedSlice;
-  }
-  [[deprecated("use outcome.reason")]] const std::string& rewriteMessage()
-      const {
-    return outcome.reason;
-  }
 };
+
+/// The canonical paper-aligned counter block of a finished run: the Table 3
+/// encoding sizes (`evc.*`, `cnf.*`), Table 5 rewrite statistics
+/// (`rewrite.*`), simulator work (`tlsim.*`), EUFM context sizes (`eufm.*`)
+/// and sequential SAT effort (`sat.*`). This is what the benches embed in
+/// their JSON reports and what writeManifest() records under "counters" —
+/// independent of whether a trace::Collector was attached. Names are
+/// documented in docs/TRACE_FORMAT.md.
+std::vector<std::pair<std::string, std::uint64_t>> reportCounters(
+    const VerifyReport& rep);
 
 /// Verify one processor configuration (optionally with an injected bug).
 VerifyReport verify(const models::OoOConfig& cfg,

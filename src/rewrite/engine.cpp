@@ -1,11 +1,13 @@
 #include "rewrite/engine.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "rewrite/contexts.hpp"
 #include "rewrite/subst.hpp"
 #include "rewrite/update_chain.hpp"
 #include "support/budget.hpp"
+#include "support/trace.hpp"
 
 namespace velev::rewrite {
 
@@ -34,21 +36,41 @@ class Engine {
   RewriteResult run(Expr implRegFile, std::span<const Expr> specRegFile) {
     RewriteResult res;
     try {
-      extract(implRegFile, specRegFile);
-      checkContexts();
-      checkMovability();
+      {
+        TRACE_SPAN("rewrite.extract");
+        extract(implRegFile, specRegFile);
+      }
+      {
+        TRACE_SPAN("rewrite.contexts");
+        checkContexts();
+      }
+      {
+        TRACE_SPAN("rewrite.movability");
+        checkMovability();
+      }
       // One governor checkpoint per ROB slice. The expression building
       // inside checkSliceData is already governed through cx_'s intern
       // chokepoint; this adds a deterministic per-slice poll so a deadline
       // trips between slices even when a slice interns nothing new. A
       // BudgetExceeded deliberately propagates past the SliceMismatch
       // handler below: budget exhaustion is not a rule mismatch.
-      for (unsigned i = 0; i < n_; ++i) {
-        if (BudgetGovernor* gov = cx_.budgetGovernor())
-          gov->checkpoint(-1, 0);
-        checkSliceData(i);
+      {
+        TRACE_SPAN("rewrite.slices");
+        for (unsigned i = 0; i < n_; ++i) {
+          if (BudgetGovernor* gov = cx_.budgetGovernor())
+            gov->checkpoint(-1, 0);
+          const std::size_t nodesBefore = cx_.numNodes();
+          checkSliceData(i);
+          const std::uint64_t delta = cx_.numNodes() - nodesBefore;
+          stats_.sliceNodesTotal += delta;
+          stats_.sliceNodesMax = std::max(stats_.sliceNodesMax, delta);
+          ++stats_.slicesChecked;
+        }
       }
-      rebuild(res, specRegFile.size());
+      {
+        TRACE_SPAN("rewrite.rebuild");
+        rebuild(res, specRegFile.size());
+      }
       res.ok = true;
       res.updatesRemoved = k_ + 2 * n_;
     } catch (const SliceMismatch& m) {
@@ -56,6 +78,7 @@ class Engine {
       res.failedSlice = m.slice;
       res.message = m.what;
     }
+    res.stats = stats_;
     return res;
   }
 
@@ -119,6 +142,7 @@ class Engine {
       if (r.data != init_.result[i])
         fail(i, "retire update data is not Result_i");
       retireCond_[i] = splitValid(i, r.ctx, "retire");
+      ++stats_.contextChecks;
     }
     for (unsigned i = 0; i < n_; ++i) {
       const Update& f = flushUpd(i);
@@ -137,6 +161,7 @@ class Engine {
         fail(i, "specification update address is not Dest_i");
       if (s.ctx != init_.valid[i])
         fail(i, "specification update context is not Valid_i");
+      ++stats_.contextChecks;
     }
   }
 
@@ -152,6 +177,7 @@ class Engine {
                       std::to_string(i + 1) + " past retire update of slice " +
                       std::to_string(j + 1) +
                       ": contexts are not provably disjoint");
+        ++stats_.movesApplied;
       }
     }
   }
@@ -163,6 +189,7 @@ class Engine {
     const Expr implData =
         i < k_ ? cx_.mkIteT(retireCond_[i], init_.result[i], flushUpd(i).data)
                : flushUpd(i).data;
+    if (i < k_) ++stats_.mergesApplied;
     const Expr specData = specUpd(i).data;
 
     // Case 1: ValidResult_i = true — both sides must collapse to Result_i.
@@ -236,9 +263,15 @@ class Engine {
   // src)? The base case (no preceding writer consulted) needs no condition.
   bool operandJustified(unsigned i, Expr fwd, Expr src,
                         const std::vector<Expr>& conj) {
-    if (matchForwarding(i, fwd, kNoExpr, src)) return true;
+    if (matchForwarding(i, fwd, kNoExpr, src)) {
+      ++stats_.forwardingMatches;
+      return true;
+    }
     for (Expr c : conj)
-      if (matchForwarding(i, fwd, c, src)) return true;
+      if (matchForwarding(i, fwd, c, src)) {
+        ++stats_.forwardingMatches;
+        return true;
+      }
     return false;
   }
 
@@ -319,6 +352,7 @@ class Engine {
   UpdateChain spec0_;
   std::vector<Update> specSteps_;
   std::vector<Expr> retireCond_;  // retire_i, split out of the contexts
+  RewriteStats stats_;
 };
 
 }  // namespace

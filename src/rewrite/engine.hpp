@@ -36,6 +36,7 @@
 // slice as not conforming to the expected expression structure").
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -45,10 +46,33 @@
 
 namespace velev::rewrite {
 
+/// Rewrite-engine work counters — the quantities of the paper's Table 5
+/// ("statistics of the rewriting rules"): how many rule applications fired,
+/// how many updates they deleted, and how large the per-slice proof
+/// obligations were. Exposed on every RewriteResult (success or mismatch)
+/// and surfaced as the `rewrite.*` counters of the trace manifests.
+struct RewriteStats {
+  unsigned slicesChecked = 0;      // data-equality case splits completed
+  unsigned contextChecks = 0;      // update-context structure checks
+  unsigned movesApplied = 0;       // completion updates moved past retires
+  unsigned mergesApplied = 0;      // retire/completion pairs merged
+  unsigned forwardingMatches = 0;  // rule 2.1 operand justifications
+  /// Total structural rule applications (the paper's "rules fired").
+  std::uint64_t rulesFired() const {
+    return std::uint64_t{slicesChecked} + contextChecks + movesApplied +
+           mergesApplied + forwardingMatches;
+  }
+  /// DAG nodes interned while checking slices (proof-obligation size):
+  /// summed over all slices, and the largest single slice.
+  std::uint64_t sliceNodesTotal = 0;
+  std::uint64_t sliceNodesMax = 0;
+};
+
 struct RewriteResult {
   bool ok = false;
   unsigned failedSlice = 0;  // 1-based slice index when !ok
   std::string message;
+  RewriteStats stats;
 
   eufm::Expr implRegFile = eufm::kNoExpr;     // rewritten impl-side state
   std::vector<eufm::Expr> specRegFile;        // rewritten spec side, m = 0..k

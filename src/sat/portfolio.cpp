@@ -7,6 +7,7 @@
 #include "support/hash.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace velev::sat {
 
@@ -36,7 +37,12 @@ Result solvePortfolio(const prop::Cnf& cnf, const PortfolioOptions& opts,
   std::atomic<bool> cancel{false};
   std::atomic<int> winner{-1};
 
-  auto runInstance = [&](unsigned i) {
+  // Pool workers have no trace collector attached; carry the caller's over
+  // so per-instance spans land in the same (mutex-protected) collector.
+  trace::Collector* collector = trace::active();
+  auto runInstance = [&, collector](unsigned i) {
+    trace::Use tracing(collector);
+    TRACE_SPAN("sat.instance");
     Slot& slot = slots[i];
     Solver solver(portfolioInstanceOptions(opts, i));
     if (opts.wantProof) solver.setProof(&slot.proof);
@@ -89,6 +95,14 @@ Result solvePortfolio(const prop::Cnf& cnf, const PortfolioOptions& opts,
     report->result = w >= 0 ? slots[static_cast<unsigned>(w)].result
                             : Result::Unknown;
     report->winner = w;
+    report->instanceStats.clear();
+    report->instanceSeeds.clear();
+    report->instanceStats.reserve(k);
+    report->instanceSeeds.reserve(k);
+    for (unsigned i = 0; i < k; ++i) {
+      report->instanceStats.push_back(slots[i].stats);
+      report->instanceSeeds.push_back(portfolioInstanceOptions(opts, i).seed);
+    }
     if (w >= 0) {
       Slot& ws = slots[static_cast<unsigned>(w)];
       report->winnerSeed =

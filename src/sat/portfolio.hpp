@@ -46,6 +46,8 @@ struct PortfolioReport {
   int winner = -1;               // instance index, -1 if all inconclusive
   std::uint64_t winnerSeed = 0;
   Stats winnerStats;             // stats of the winning instance
+  std::vector<Stats> instanceStats;  // per-instance, index = instance id
+  std::vector<std::uint64_t> instanceSeeds;  // VSIDS seed of each instance
   std::vector<bool> model;       // DIMACS-indexed (entry 0 unused) when Sat
   Proof proof;                   // winner's DRAT proof (wantProof && Unsat)
   double seconds = 0;            // wall time of the whole race

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/budget.hpp"
+#include "support/trace.hpp"
 
 namespace velev::sat {
 
@@ -514,22 +515,29 @@ Result solveCnf(const prop::Cnf& cnf, std::vector<bool>* model, Stats* stats,
   Solver s;
   s.setProof(proof);
   s.setBudget(budget);
-  s.ensureVars(cnf.numVars);
   bool ok = true;
-  std::size_t loaded = 0;
-  for (const auto& c : cnf.clauses) {
-    // Loading the clause database copies the whole CNF into the arena;
-    // poll so an over-budget instance stops before doubling its footprint.
-    if ((++loaded & 0xfffu) == 0 && s.pollBudget()) {
-      if (stats) *stats = s.stats();
-      return Result::Unknown;
-    }
-    if (!s.addClause(c)) {
-      ok = false;
-      break;
+  {
+    TRACE_SPAN("sat.load");
+    s.ensureVars(cnf.numVars);
+    std::size_t loaded = 0;
+    for (const auto& c : cnf.clauses) {
+      // Loading the clause database copies the whole CNF into the arena;
+      // poll so an over-budget instance stops before doubling its footprint.
+      if ((++loaded & 0xfffu) == 0 && s.pollBudget()) {
+        if (stats) *stats = s.stats();
+        return Result::Unknown;
+      }
+      if (!s.addClause(c)) {
+        ok = false;
+        break;
+      }
     }
   }
-  Result r = ok ? s.solve(conflictBudget) : Result::Unsat;
+  Result r;
+  {
+    TRACE_SPAN("sat.solve");
+    r = ok ? s.solve(conflictBudget) : Result::Unsat;
+  }
   if (r == Result::Sat && model) {
     model->assign(cnf.numVars + 1, false);
     for (std::uint32_t v = 1; v <= cnf.numVars; ++v)

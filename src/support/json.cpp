@@ -1,0 +1,200 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace velev {
+
+namespace {
+
+/// Recursive-descent JSON reader over a string_view. Depth-limited so a
+/// hostile (or truncated) file cannot overflow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    JsonValue v;
+    if (!value(v, 0) || (skipWs(), pos_ != text_.size())) {
+      if (pos_ == text_.size() && err_.empty()) err_ = "trailing garbage";
+      if (error != nullptr)
+        *error = "offset " + std::to_string(pos_) + ": " +
+                 (err_.empty() ? "malformed JSON" : err_);
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const char* what) {
+    if (err_.empty()) err_ = what;
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skipWs();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return object(out, depth);
+      case '[': return array(out, depth);
+      case '"':
+        out.type = JsonValue::Type::String;
+        return string(out.string);
+      case 't':
+        out.type = JsonValue::Type::Bool;
+        out.boolean = true;
+        return literal("true") || fail("bad literal");
+      case 'f':
+        out.type = JsonValue::Type::Bool;
+        out.boolean = false;
+        return literal("false") || fail("bad literal");
+      case 'n':
+        out.type = JsonValue::Type::Null;
+        return literal("null") || fail("bad literal");
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::Object;
+    ++pos_;  // '{'
+    if (consume('}')) return true;
+    while (true) {
+      skipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      std::string key;
+      if (!string(key)) return false;
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue member;
+      if (!value(member, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::Array;
+    ++pos_;  // '['
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue elem;
+      if (!value(elem, depth + 1)) return false;
+      out.array.push_back(std::move(elem));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          // UTF-8 encode the code point (surrogate pairs are not combined
+          // — the writer never emits code points above U+001F).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return fail("expected a value");
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size()) return fail("malformed number");
+    out.type = JsonValue::Type::Number;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parseJson(std::string_view text, std::string* error) {
+  return Parser(text).parse(error);
+}
+
+}  // namespace velev

@@ -1,10 +1,12 @@
-// Minimal JSON emitter for the machine-readable bench/tool reports
-// (BENCH_<name>.json, velev_verify --json). Write-only by design: the
-// repository consumes these files from external tooling (perf tracking
-// across PRs), never parses them back, so a ~100-line emitter beats a
-// dependency.
+// Minimal JSON emitter and reader for the machine-readable reports
+// (BENCH_<name>.json, velev_verify --json, and the trace subsystem's
+// manifest.json / trace.json). Both directions are deliberately tiny —
+// a ~100-line emitter plus a ~150-line recursive-descent reader beat a
+// dependency. The reader exists so the *tests* can round-trip what the
+// tools emit (trace_test parses manifests back; cli_test validates
+// --trace output); production code only writes.
 //
-// Usage:
+// Writer usage:
 //   JsonWriter w(os);
 //   w.beginObject();
 //   w.key("bench"); w.value("table2_pe_only");
@@ -13,13 +15,21 @@
 //
 // The writer inserts commas and newline indentation; keys/values must
 // alternate correctly inside objects (checked).
+//
+// Reader usage:
+//   std::string err;
+//   std::optional<JsonValue> v = parseJson(text, &err);
+//   if (v) { const JsonValue* cells = v->find("cells"); ... }
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <ostream>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "support/check.hpp"
@@ -153,5 +163,59 @@ class JsonWriter {
   std::ostream& os_;
   std::vector<Frame> stack_;
 };
+
+/// Parsed JSON value. Objects preserve insertion order (handy for
+/// comparing against the deterministic writer output); numbers are held
+/// as double, which is lossless for every count this repository emits
+/// (all well below 2^53).
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool isNull() const { return type == Type::Null; }
+  bool isBool() const { return type == Type::Bool; }
+  bool isNumber() const { return type == Type::Number; }
+  bool isString() const { return type == Type::String; }
+  bool isArray() const { return type == Type::Array; }
+  bool isObject() const { return type == Type::Object; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const {
+    if (type != Type::Object) return nullptr;
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+
+  /// Numeric member as uint64 (0 when absent / non-numeric / negative).
+  std::uint64_t uintAt(std::string_view key) const {
+    const JsonValue* v = find(key);
+    if (v == nullptr || !v->isNumber() || v->number < 0) return 0;
+    return static_cast<std::uint64_t>(v->number);
+  }
+  /// Numeric member as double (0 when absent / non-numeric).
+  double numberAt(std::string_view key) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->isNumber() ? v->number : 0;
+  }
+  /// String member ("" when absent / non-string).
+  std::string_view stringAt(std::string_view key) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->isString() ? std::string_view(v->string)
+                                         : std::string_view();
+  }
+};
+
+/// Parse a complete JSON document. Returns nullopt on malformed input and,
+/// when `error` is given, a one-line "offset N: what" diagnostic.
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string* error = nullptr);
 
 }  // namespace velev

@@ -1,5 +1,7 @@
 #include "tlsim/sim.hpp"
 
+#include "support/trace.hpp"
+
 namespace velev::tlsim {
 
 using eufm::Expr;
@@ -167,6 +169,7 @@ Expr Simulator::eval(SignalId root) {
 }
 
 void Simulator::step() {
+  TRACE_SPAN("tlsim.step");
   if (!opts_.coneOfInfluence) {
     // Naive mode: fully evaluate every signal every cycle.
     for (SignalId s = 0; s < nl_.numSignals(); ++s) eval(s);

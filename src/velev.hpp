@@ -14,6 +14,7 @@
 #include "support/mem.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 // eufm/ — the hash-consed EUFM term/formula DAG and its evaluator.
 #include "eufm/eval.hpp"

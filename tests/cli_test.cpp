@@ -14,6 +14,8 @@
 #include "core/verifier.hpp"
 #include "prop/cnf.hpp"
 #include "sat/solver.hpp"
+#include "support/json.hpp"
+#include "support/trace.hpp"
 
 namespace velev {
 namespace {
@@ -197,6 +199,83 @@ TEST(Cli, GridWithInjectedBugExitsOneEverywhere) {
   const CliResult r = runCli("--grid 4x2,8x2 --bug fwd:2 --jobs 2 --quiet");
   EXPECT_EQ(r.exitCode, 1) << r.output;
   EXPECT_NE(r.output.find("NON-CONFORMING"), std::string::npos) << r.output;
+}
+
+TEST(Cli, TraceWritesPerfettoTraceAndVersionedManifest) {
+  const std::string dir = tmpPath("cli_trace");
+  const CliResult r =
+      runCli("--size 4 --width 2 --jobs 2 --stats --trace " + dir + " --quiet");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  // --stats prints the stage tree and counters to stderr (merged in).
+  EXPECT_NE(r.output.find("stage tree"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("verify.translate"), std::string::npos) << r.output;
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+
+  std::string err;
+  const auto tr = parseJson(slurp(dir + "/trace.json"), &err);
+  ASSERT_TRUE(tr.has_value()) << err;
+  const JsonValue* events = tr->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->array.size(), 10u);
+
+  const auto m = parseJson(slurp(dir + "/manifest.json"), &err);
+  ASSERT_TRUE(m.has_value()) << err;
+  EXPECT_EQ(m->uintAt("schema_version"),
+            static_cast<std::uint64_t>(trace::kManifestSchemaVersion));
+  EXPECT_EQ(m->stringAt("tool"), "velev_verify");
+  EXPECT_EQ(m->stringAt("verdict"), "correct");
+  EXPECT_EQ(m->find("config")->uintAt("rob_size"), 4u);
+  const JsonValue* counters = m->find("counters");
+  ASSERT_NE(counters, nullptr);
+  // The acceptance counters: encoding sizes, rewrite effort, per-seed SAT.
+  EXPECT_GT(counters->uintAt("evc.p_equations"), 0u);
+  EXPECT_GT(counters->uintAt("rewrite.rules_fired"), 0u);
+  EXPECT_GT(counters->uintAt("cnf.vars"), 0u);
+  EXPECT_NE(counters->find("evc.eij_vars"), nullptr);
+  EXPECT_NE(counters->find("sat.seed0.conflicts"), nullptr);
+  EXPECT_NE(counters->find("sat.seed1.conflicts"), nullptr);
+  EXPECT_NE(counters->find("sat.winner_seed"), nullptr);
+}
+
+TEST(Cli, GridTraceWritesPerCellAndMergedManifests) {
+  const std::string dir = tmpPath("cli_grid_trace");
+  const CliResult r =
+      runCli("--grid 2x1,4x2 --jobs 2 --trace " + dir + " --quiet");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+
+  auto parseFile = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    auto doc = parseJson(ss.str(), &err);
+    EXPECT_TRUE(doc.has_value()) << path << ": " << err;
+    return doc;
+  };
+
+  const auto cell = parseFile(dir + "/cell_1_4x2.manifest.json");
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->stringAt("tool"), "velev_grid");
+  EXPECT_EQ(cell->find("config")->uintAt("rob_size"), 4u);
+  EXPECT_EQ(cell->find("config")->uintAt("issue_width"), 2u);
+  EXPECT_GT(cell->find("counters")->uintAt("eufm.nodes"), 0u);
+  EXPECT_TRUE(parseFile(dir + "/cell_0_2x1.trace.json").has_value());
+
+  const auto merged = parseFile(dir + "/manifest.json");
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->stringAt("verdict"), "correct");
+  EXPECT_EQ(merged->find("config")->uintAt("cells"), 2u);
+  // Merged counters are sums over the cells, so at least the single-cell's.
+  EXPECT_GT(merged->find("counters")->uintAt("eufm.nodes"),
+            cell->find("counters")->uintAt("eufm.nodes"));
 }
 
 TEST(Cli, JsonReportIsWrittenAndWellFormed) {

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Documentation hygiene checks, run by the CI `docs` job.
+
+1. Every relative markdown link in README.md and docs/*.md must point at a
+   file (or directory) that exists in the repo. External links (http/https/
+   mailto) and pure in-page anchors are skipped; `path#anchor` links are
+   checked for the path part only.
+2. docs/ARCHITECTURE.md must mention every subdirectory of src/ — the
+   architecture tour may not silently fall behind the code layout.
+
+Exits non-zero with one line per problem.
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# [text](target) links, excluding images' inner brackets edge cases; good
+# enough for the hand-written markdown in this repo.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doc_files():
+    files = [REPO / "README.md"]
+    docs = REPO / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def check_links(path, errors):
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = (path.parent / rel).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+
+
+def check_architecture_coverage(errors):
+    arch = REPO / "docs" / "ARCHITECTURE.md"
+    if not arch.is_file():
+        errors.append("docs/ARCHITECTURE.md is missing")
+        return
+    text = arch.read_text(encoding="utf-8")
+    for sub in sorted(p.name for p in (REPO / "src").iterdir() if p.is_dir()):
+        if f"src/{sub}" not in text:
+            errors.append(f"docs/ARCHITECTURE.md: no section mentions src/{sub}")
+
+
+def main():
+    errors = []
+    files = doc_files()
+    if not files:
+        errors.append("no documentation files found (README.md, docs/*.md)")
+    for f in files:
+        check_links(f, errors)
+    check_architecture_coverage(errors)
+    if errors:
+        for e in errors:
+            print(f"check_docs: {e}", file=sys.stderr)
+        return 1
+    names = ", ".join(str(f.relative_to(REPO)) for f in files)
+    print(f"check_docs: OK ({names})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@
 //   $ velev_verify --size 2 --width 1 --strategy pe --proof out.drat
 //   $ velev_verify --size 16 --width 4 --strategy pe --mem-budget 1024
 //   $ velev_verify --grid "sizes=16,32,64;widths=1,2,4" --jobs 8 --json g.json
+//   $ velev_verify --size 8 --width 2 --trace out/ --stats
 //
 // Options:
 //   --size N          ROB size (default 8)
@@ -34,6 +35,15 @@
 //   --proof FILE      log a DRAT proof and self-check it on UNSAT
 //   --json FILE       write a machine-readable report (same schema as the
 //                     benches' BENCH_<name>.json)
+//   --trace DIR       write observability artifacts into DIR (created if
+//                     missing): a Chrome-trace/Perfetto event stream
+//                     (trace.json) and a versioned run manifest
+//                     (manifest.json). Grid mode writes per-cell
+//                     cell_<i>_<N>x<K>.{trace,manifest}.json plus one
+//                     merged manifest.json. Schema: docs/TRACE_FORMAT.md
+//   --stats           print the hierarchical stage-time tree and the final
+//                     counters to stderr (single mode; grid cells record
+//                     their statistics in the --trace manifests instead)
 //   --quiet           print only the verdict line(s)
 //
 // Exit code (core::verdictExitCode — one mapping shared with the benches
@@ -43,7 +53,9 @@
 // inconclusive/skipped -> 3, else 0.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -235,6 +247,8 @@ int main(int argc, char** argv) {
   const char* proofPath = nullptr;
   const char* jsonPath = nullptr;
   const char* gridSpec = nullptr;
+  const char* traceDir = nullptr;
+  bool stats = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -276,6 +290,8 @@ int main(int argc, char** argv) {
     else if (a == "--dump-cnf") dumpCnf = next();
     else if (a == "--proof") proofPath = next();
     else if (a == "--json") jsonPath = next();
+    else if (a == "--trace") traceDir = next();
+    else if (a == "--stats") stats = true;
     else if (a == "--quiet") quiet = true;
     else usage(("unknown option: " + a).c_str());
   }
@@ -292,6 +308,11 @@ int main(int argc, char** argv) {
     gopts.verify.budget = budget;
     gopts.verify.sim.coneOfInfluence = coi;
     gopts.fallback = fallback;
+    if (traceDir) gopts.traceDir = traceDir;
+    if (stats)
+      std::fprintf(stderr, "note: --stats is a single-run view; grid cells "
+                           "record their statistics in the --trace "
+                           "manifests\n");
     std::vector<core::GridCell> cells = parseGridSpec(gridSpec);
     for (core::GridCell& c : cells) c.bug = bug;
     return runGridMode(cells, gopts, jsonPath, quiet);
@@ -304,6 +325,26 @@ int main(int argc, char** argv) {
   // degrades into a timeout/memout verdict.
   BudgetGovernor gov(budget);
 
+  // Observability: one Collector for the whole run when --trace or --stats
+  // asked for it, attached thread-locally so every pipeline layer below
+  // (and the portfolio's workers) records into it.
+  trace::Collector collector;
+  const bool collecting = traceDir != nullptr || stats;
+  trace::Use tracing(collecting ? &collector : nullptr);
+
+  // Declared before finishJson so the closing accounting can scan the DAG
+  // and read the portfolio's per-instance statistics.
+  eufm::Context cx;
+  cx.setBudget(&gov);
+  sat::PortfolioReport prep;
+
+  // Mirrors of the flag set, for the manifest's config block.
+  core::VerifyOptions vopts;
+  vopts.strategy = peOnly ? core::Strategy::PositiveEqualityOnly
+                          : core::Strategy::RewritingPlusPositiveEquality;
+  vopts.budget = budget;
+  vopts.sim.coneOfInfluence = coi;
+
   // Collected for --json (single-cell report reuses the grid schema).
   Timer total;
   core::GridCellResult cellOut;
@@ -311,17 +352,50 @@ int main(int argc, char** argv) {
   auto finishJson = [&](core::Verdict v) {
     cellOut.report.outcome.verdict = v;
     cellOut.report.outcome.peakArenaBytes = gov.peakArenaBytes();
+    cellOut.report.outcome.rssHighWaterKb = rssHighWaterKb();
+    cellOut.report.cxStats = core::scanContext(cx);
     cellOut.wallSeconds = total.seconds();
     cellOut.memHighWaterKb = rssHighWaterKb();
     if (jsonPath)
       writeJsonReport(jsonPath, "single", jobs, {cellOut}, total.seconds());
+    if (collecting) {
+      // Publish the canonical counter block plus the per-seed SAT effort
+      // on the collector: the manifest merges the collector's counters, and
+      // --stats prints them under the stage tree.
+      for (const auto& [name, value] : core::reportCounters(cellOut.report))
+        collector.setCounter(name, value);
+      for (std::size_t s = 0; s < prep.instanceStats.size(); ++s) {
+        const std::string p = "sat.seed" + std::to_string(s) + ".";
+        const sat::Stats& st = prep.instanceStats[s];
+        collector.setCounter(p + "decisions", st.decisions);
+        collector.setCounter(p + "propagations", st.propagations);
+        collector.setCounter(p + "conflicts", st.conflicts);
+        collector.setCounter(p + "restarts", st.restarts);
+      }
+      if (prep.winner >= 0) {
+        collector.setCounter("sat.winner",
+                             static_cast<std::uint64_t>(prep.winner));
+        collector.setCounter("sat.winner_seed", prep.winnerSeed);
+      }
+      if (stats) collector.writeStageTree(std::cerr);
+      if (traceDir) {
+        std::filesystem::create_directories(traceDir);
+        const std::string dir = traceDir;
+        if (std::ofstream os(dir + "/trace.json"); os)
+          collector.writeChromeTrace(os);
+        if (std::ofstream os(dir + "/manifest.json"); os)
+          trace::writeManifest(os, core::cellManifestData(cellOut, vopts),
+                               &collector);
+        if (!quiet)
+          std::printf("trace: wrote %s/trace.json and %s/manifest.json\n",
+                      traceDir, traceDir);
+      }
+    }
     return core::verdictExitCode(v);
   };
 
   try {
   // Build + simulate.
-  eufm::Context cx;
-  cx.setBudget(&gov);
   const models::Isa isa = models::Isa::declare(cx);
   const models::OoOConfig cfg{size, width};
   auto impl = models::buildOoO(cx, isa, cfg, bug);
@@ -329,8 +403,13 @@ int main(int argc, char** argv) {
   tlsim::SimOptions simOpts;
   simOpts.coneOfInfluence = coi;
   Timer t;
-  const core::Diagram d = core::buildDiagram(cx, *impl, *spec, simOpts);
+  const core::Diagram d = [&] {
+    TRACE_SPAN("verify.sim");
+    return core::buildDiagram(cx, *impl, *spec, simOpts);
+  }();
   const double simSec = t.seconds();
+  cellOut.report.simStats = d.implSimStats;
+  cellOut.report.outcome.seconds.sim = simSec;
   if (!quiet)
     std::printf("simulated commutative diagram in %.3f s (%llu signal "
                 "evaluations)\n",
@@ -343,8 +422,13 @@ int main(int argc, char** argv) {
   evc::TranslateOptions topts;
   if (!peOnly) {
     t.reset();
-    const rewrite::RewriteResult rw = rewrite::rewriteRobUpdates(
-        cx, isa, impl->init, cfg, d.implRegFile, d.specRegFile);
+    const rewrite::RewriteResult rw = [&] {
+      TRACE_SPAN("verify.rewrite");
+      return rewrite::rewriteRobUpdates(cx, isa, impl->init, cfg,
+                                        d.implRegFile, d.specRegFile);
+    }();
+    cellOut.report.rewriteStats = rw.stats;
+    cellOut.report.outcome.seconds.rewrite = t.seconds();
     if (!rw.ok) {
       std::printf("verdict: NON-CONFORMING SLICE %u (%s) after %.3f s\n",
                   rw.failedSlice, rw.message.c_str(), t.seconds());
@@ -352,6 +436,7 @@ int main(int argc, char** argv) {
       cellOut.report.outcome.reason = rw.message;
       return finishJson(core::Verdict::RewriteMismatch);
     }
+    cellOut.report.updatesRemoved = rw.updatesRemoved;
     if (!quiet)
       std::printf("rewriting rules removed %u updates in %.3f s\n",
                   rw.updatesRemoved, t.seconds());
@@ -365,7 +450,12 @@ int main(int argc, char** argv) {
 
   // Translate.
   t.reset();
-  const evc::Translation tr = evc::translate(cx, correctness, topts);
+  const evc::Translation tr = [&] {
+    TRACE_SPAN("verify.translate");
+    return evc::translate(cx, correctness, topts);
+  }();
+  cellOut.report.evcStats = tr.stats;
+  cellOut.report.outcome.seconds.translate = t.seconds();
   if (!quiet)
     std::printf("translated to CNF in %.3f s: %u vars, %zu clauses, "
                 "%u e_ij variables\n",
@@ -383,12 +473,15 @@ int main(int argc, char** argv) {
   popts.conflictBudget = budget.satConflicts;
   popts.wantProof = proofPath != nullptr;
   popts.budget = &gov;
-  sat::PortfolioReport prep;
   t.reset();
-  const sat::Result r = sat::solvePortfolio(tr.cnf, popts, &prep);
+  const sat::Result r = [&] {
+    TRACE_SPAN("verify.sat");
+    return sat::solvePortfolio(tr.cnf, popts, &prep);
+  }();
   const double satSec = t.seconds();
   cellOut.report.satStats = prep.winnerStats;
   cellOut.report.outcome.satResult = r;
+  cellOut.report.outcome.seconds.sat = satSec;
   if (!quiet && jobs > 1)
     std::printf("portfolio: %u instances, instance %d (seed %llu) won\n",
                 jobs, prep.winner,
