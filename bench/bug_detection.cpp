@@ -19,9 +19,9 @@ using namespace velev;
 
 namespace {
 
-void runCase(const char* label, const models::OoOConfig& cfg,
-             const models::BugSpec& bug) {
-  core::VerifyOptions opts;
+void runCase(bench::JsonReport& json, const char* label,
+             const models::OoOConfig& cfg, const models::BugSpec& bug,
+             const core::VerifyOptions& opts) {
   Timer t;
   const core::VerifyReport rep = core::verify(cfg, bug, opts);
   const double total = t.seconds();
@@ -34,6 +34,19 @@ void runCase(const char* label, const models::OoOConfig& cfg,
     std::printf("%-34s verdict=%s in %6.3f s\n", label,
                 core::verdictName(rep.verdict()), total);
   }
+
+  bench::JsonCell c;
+  c.robSize = cfg.robSize;
+  c.issueWidth = cfg.issueWidth;
+  c.label = label;
+  c.verdict = core::verdictName(rep.verdict());
+  c.reason = rep.outcome.reason;
+  c.wallSeconds = total;
+  c.satConflicts = rep.satStats.conflicts;
+  c.peakArenaBytes = rep.outcome.peakArenaBytes;
+  c.memHighWaterKb = rssHighWaterKb();
+  c.counters = core::reportCounters(rep);
+  json.add(std::move(c));
 }
 
 }  // namespace
@@ -45,27 +58,33 @@ int main() {
       "N=128 ROB entries, width 4\n\n");
   const models::OoOConfig cfg{128, 4};
 
-  runCase("correct design", cfg, {});
-  runCase("fwd bug, slice 72 (paper's bug)", cfg,
-          {models::BugKind::ForwardingWrongOperand, 72});
+  bench::JsonReport json("bug_detection");
+  core::VerifyOptions opts;
+  opts.budget = bench::parseBudget(/*timeoutSecs=*/0, /*memBudgetMb=*/0,
+                                   /*satConflicts=*/-1);
+
+  runCase(json, "correct design", cfg, {}, opts);
+  runCase(json, "fwd bug, slice 72 (paper's bug)", cfg,
+          {models::BugKind::ForwardingWrongOperand, 72}, opts);
 
   std::printf("\nsweep over bug positions and kinds:\n");
   for (unsigned slice : {8u, 37u, 100u, 128u})
-    runCase(("fwd bug, slice " + std::to_string(slice)).c_str(), cfg,
-            {models::BugKind::ForwardingWrongOperand, slice});
-  runCase("stale-forward bug, slice 64", cfg,
-          {models::BugKind::ForwardingStaleResult, 64});
-  runCase("ALU-opcode bug, slice 90", cfg,
-          {models::BugKind::AluWrongOpcode, 90});
-  runCase("retire bug, slice 3", cfg,
-          {models::BugKind::RetireIgnoresValidResult, 3});
-  runCase("completion-skip bug, slice 50", cfg,
-          {models::BugKind::CompletionSkipsWrite, 50});
+    runCase(json, ("fwd bug, slice " + std::to_string(slice)).c_str(), cfg,
+            {models::BugKind::ForwardingWrongOperand, slice}, opts);
+  runCase(json, "stale-forward bug, slice 64", cfg,
+          {models::BugKind::ForwardingStaleResult, 64}, opts);
+  runCase(json, "ALU-opcode bug, slice 90", cfg,
+          {models::BugKind::AluWrongOpcode, 90}, opts);
+  runCase(json, "retire bug, slice 3", cfg,
+          {models::BugKind::RetireIgnoresValidResult, 3}, opts);
+  runCase(json, "completion-skip bug, slice 50", cfg,
+          {models::BugKind::CompletionSkipsWrite, 50}, opts);
 
   std::printf(
       "\n(the Positive-Equality-only flow is not attempted at this size; "
       "the paper reports it\nran out of memory after >6,000 s during "
       "translation — see bench/table2_pe_only for\nthe blowup at small "
       "sizes)\n");
+  json.write();
   return 0;
 }

@@ -103,6 +103,7 @@ Translation translate(eufm::Context& cx, Expr correctness,
   tr.stats.cnfClauses = tr.cnf.numClauses();
   traceStats(tr.stats);
 
+  tr.ufRoot = uf.root;
   tr.validityRoot = enc.root;
   tr.boolVarLit = std::move(enc.boolVarLit);
   tr.eijLit = std::move(enc.eijLit);

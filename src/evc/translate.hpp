@@ -54,6 +54,11 @@ struct Translation {
   /// Propositional form of the correctness formula (validity target).
   std::unique_ptr<prop::PropCtx> pctx;
   prop::PLit validityRoot = prop::kFalse;
+  /// The UF-free, memory-free EUFM formula the encoding step consumed
+  /// (after memory elimination and UF/UP elimination). A decoded SAT model
+  /// assigns values to exactly the variables of this formula, so it is the
+  /// formula a counterexample decoder re-evaluates (src/fuzz/decode).
+  eufm::Expr ufRoot = eufm::kNoExpr;
   /// CNF of ¬validityRoot plus transitivity constraints: UNSAT <=> correct.
   prop::Cnf cnf;
   TranslationStats stats;

@@ -1,0 +1,183 @@
+// Replayable JSON corpus entries. The writer is deterministic (fixed key
+// order, no wall-clock fields), so a fuzz run with the same seed produces
+// byte-identical corpus files — the reproducibility contract cli/fuzz
+// tests and the nightly CI job rely on.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/fuzz.hpp"
+
+namespace velev::fuzz {
+
+CorpusEntry makeCorpusEntry(const FuzzCase& c, const OracleOutcome& o) {
+  CorpusEntry e;
+  e.c = c;
+  e.rewriteVerdict = core::verdictName(o.rewriteVerdict);
+  e.failedSlice = o.rewriteFailedSlice;
+  e.peVerdict = core::verdictName(o.peVerdict);
+  e.evalRefuted = o.evalRefuted;
+  e.decoded = o.cex.has_value() && o.cex->transitive && o.cex->falsifiesUfRoot;
+  return e;
+}
+
+namespace {
+
+void writeEntry(JsonWriter& w, const CorpusEntry& e) {
+  w.beginObject();
+  w.kv("id", e.c.id);
+  // As a decimal string: the seed uses the full 64-bit range, and JSON
+  // numbers round-trip losslessly only up to 2^53.
+  w.kv("case_seed", std::to_string(e.c.seed));
+  w.kv("rob_size", e.c.cfg.robSize);
+  w.kv("width", e.c.cfg.issueWidth);
+  w.kv("bug", models::bugKindName(e.c.bug.kind));
+  if (e.c.bug.kind != models::BugKind::None) w.kv("bug_index", e.c.bug.index);
+  w.kv("rewrite_verdict", e.rewriteVerdict);
+  if (e.failedSlice != 0) w.kv("failed_slice", e.failedSlice);
+  w.kv("pe_verdict", e.peVerdict);
+  w.kv("eval_refuted", e.evalRefuted);
+  w.kv("decoded", e.decoded);
+  if (!e.note.empty()) w.kv("note", e.note);
+  w.endObject();
+}
+
+}  // namespace
+
+void writeCorpus(std::ostream& os, std::span<const CorpusEntry> entries) {
+  JsonWriter w(os);
+  w.beginObject();
+  w.kv("schema_version", kCorpusSchemaVersion);
+  w.kv("tool", "velev_fuzz");
+  w.key("entries");
+  w.beginArray();
+  for (const CorpusEntry& e : entries) writeEntry(w, e);
+  w.endArray();
+  w.endObject();
+}
+
+std::optional<CorpusEntry> parseCorpusEntry(const JsonValue& v,
+                                            std::string* err) {
+  auto fail = [&](const char* what) -> std::optional<CorpusEntry> {
+    if (err != nullptr) *err = what;
+    return std::nullopt;
+  };
+  if (!v.isObject()) return fail("corpus entry is not an object");
+  CorpusEntry e;
+  e.c.id = v.uintAt("id");
+  const std::string seedText{v.stringAt("case_seed")};
+  if (seedText.empty() ||
+      seedText.find_first_not_of("0123456789") != std::string::npos)
+    return fail("corpus entry's case_seed is not a decimal string");
+  e.c.seed = std::strtoull(seedText.c_str(), nullptr, 10);
+  e.c.cfg.robSize = static_cast<unsigned>(v.uintAt("rob_size"));
+  e.c.cfg.issueWidth = static_cast<unsigned>(v.uintAt("width"));
+  if (e.c.cfg.robSize < 1 || e.c.cfg.issueWidth < 1 ||
+      e.c.cfg.issueWidth > e.c.cfg.robSize)
+    return fail("corpus entry has an impossible configuration");
+  const auto kind = models::bugKindFromName(v.stringAt("bug"));
+  if (!kind.has_value()) return fail("corpus entry has an unknown bug kind");
+  e.c.bug.kind = *kind;
+  if (e.c.bug.kind != models::BugKind::None) {
+    e.c.bug.index = static_cast<unsigned>(v.uintAt("bug_index"));
+    if (e.c.bug.index < 1 ||
+        e.c.bug.index > models::bugIndexLimit(e.c.bug.kind, e.c.cfg))
+      return fail("corpus entry has an out-of-range bug index");
+  }
+  e.rewriteVerdict = v.stringAt("rewrite_verdict");
+  e.failedSlice = static_cast<unsigned>(v.uintAt("failed_slice"));
+  e.peVerdict = v.stringAt("pe_verdict");
+  if (const JsonValue* b = v.find("eval_refuted"); b != nullptr && b->isBool())
+    e.evalRefuted = b->boolean;
+  if (const JsonValue* b = v.find("decoded"); b != nullptr && b->isBool())
+    e.decoded = b->boolean;
+  e.note = v.stringAt("note");
+  return e;
+}
+
+std::vector<CorpusEntry> loadCorpusFile(const std::string& path,
+                                        std::string* err) {
+  std::ifstream is(path);
+  if (!is) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return {};
+  }
+  std::ostringstream text;
+  text << is.rdbuf();
+  std::string perr;
+  const std::optional<JsonValue> doc = parseJson(text.str(), &perr);
+  if (!doc.has_value()) {
+    if (err != nullptr) *err = path + ": " + perr;
+    return {};
+  }
+  std::vector<CorpusEntry> out;
+  auto add = [&](const JsonValue& v) {
+    std::string eerr;
+    if (const auto e = parseCorpusEntry(v, &eerr); e.has_value()) {
+      out.push_back(*e);
+      return true;
+    }
+    if (err != nullptr) *err = path + ": " + eerr;
+    return false;
+  };
+  if (const JsonValue* entries = doc->find("entries");
+      entries != nullptr && entries->isArray()) {
+    for (const JsonValue& v : entries->array)
+      if (!add(v)) return {};
+  } else if (!add(*doc)) {
+    return {};
+  }
+  return out;
+}
+
+std::optional<std::string> replayEntry(const CorpusEntry& e,
+                                       const OracleOptions& opts) {
+  const OracleOutcome o = runOracles(e.c, opts);
+  std::ostringstream os;
+  os << "corpus entry " << e.c.id << " (rob " << e.c.cfg.robSize << " width "
+     << e.c.cfg.issueWidth << " bug " << models::bugKindName(e.c.bug.kind)
+     << "): ";
+  if (const auto d = findDisagreement(o); d.has_value()) {
+    os << "oracle disagreement on replay: " << *d;
+    return os.str();
+  }
+  if (e.rewriteVerdict != core::verdictName(o.rewriteVerdict)) {
+    os << "rewrite verdict changed: recorded " << e.rewriteVerdict << ", got "
+       << core::verdictName(o.rewriteVerdict);
+    return os.str();
+  }
+  if (e.failedSlice != o.rewriteFailedSlice) {
+    os << "failed slice changed: recorded " << e.failedSlice << ", got "
+       << o.rewriteFailedSlice;
+    return os.str();
+  }
+  // The PE verdict is only diffed when recorded and replayed runs both
+  // concluded: a caller that overrides the deterministic default budgets
+  // (or disables the PE oracle) must not turn replay into a failure.
+  const auto recordedPe = core::verdictFromName(e.peVerdict);
+  const bool recordedConclusive =
+      recordedPe.has_value() && (*recordedPe == core::Verdict::Correct ||
+                                 *recordedPe == core::Verdict::CounterexampleFound);
+  const bool gotConclusive =
+      o.peVerdict == core::Verdict::Correct ||
+      o.peVerdict == core::Verdict::CounterexampleFound;
+  if (recordedConclusive && gotConclusive && *recordedPe != o.peVerdict) {
+    os << "PE verdict changed: recorded " << e.peVerdict << ", got "
+       << core::verdictName(o.peVerdict);
+    return os.str();
+  }
+  if (e.evalRefuted != o.evalRefuted) {
+    os << "evaluation oracle changed: recorded eval_refuted="
+       << (e.evalRefuted ? "true" : "false") << ", got "
+       << (o.evalRefuted ? "true" : "false");
+    return os.str();
+  }
+  if (e.decoded && !(o.cex.has_value() && o.cex->transitive &&
+                     o.cex->falsifiesUfRoot)) {
+    os << "recorded a decoded counterexample but replay produced none";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+}  // namespace velev::fuzz

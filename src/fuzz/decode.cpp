@@ -1,0 +1,186 @@
+// Inverse of evc/encode for one SAT model: read the Boolean-variable and
+// e_ij assignments out of the CNF model, close the e_ij = true pairs under
+// union-find into equivalence classes, give every class a distinct scalar
+// (and every untouched term variable its own — the maximally diverse
+// completion), and re-evaluate the formulas the encoding came from. A
+// correct translation stack guarantees two facts this file checks:
+// the e_ij assignment is transitive (the chordal transitivity constraints
+// are part of the CNF), and the decoded assignment falsifies the UF-free
+// formula (Translation::ufRoot) the encoder consumed.
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "eufm/eval.hpp"
+#include "eufm/traverse.hpp"
+#include "fuzz/fuzz.hpp"
+#include "support/check.hpp"
+
+namespace velev::fuzz {
+
+using eufm::Expr;
+
+namespace {
+
+/// Plain union-find over the term variables of the e_ij graph.
+class UnionFind {
+ public:
+  int add(Expr v) {
+    auto [it, fresh] = id_.emplace(v, static_cast<int>(parent_.size()));
+    if (fresh) parent_.push_back(it->second);
+    return it->second;
+  }
+  int find(int x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  void unite(int a, int b) { parent_[find(a)] = find(b); }
+  int idOf(Expr v) const { return id_.at(v); }
+
+ private:
+  std::map<Expr, int> id_;  // ordered: deterministic class enumeration
+  std::vector<int> parent_;
+};
+
+bool litValue(const evc::Translation& tr, prop::PLit lit,
+              const std::vector<bool>& model) {
+  const std::uint32_t var = cnfVarOf(tr, lit);
+  VELEV_CHECK(var < model.size());
+  return model[var] != prop::isNegated(lit);
+}
+
+/// The model-builder's control signals (Valid_i, ValidResult_i,
+/// NDExecute_i, NDFetch_i) as opposed to the fresh `f$N` variables UF
+/// elimination introduces.
+bool isOriginalName(const std::string& name) {
+  return name.find('$') == std::string::npos;
+}
+
+}  // namespace
+
+std::uint32_t cnfVarOf(const evc::Translation& tr, prop::PLit lit) {
+  return tr.pctx->varIndex(prop::nodeOf(lit)) + 1;
+}
+
+Counterexample decodeModel(eufm::Context& cx, const evc::Translation& tr,
+                           const std::vector<bool>& model,
+                           const core::Diagram* diagram,
+                           const models::OoOProcessor* impl) {
+  Counterexample cex;
+
+  // 1. Boolean variables straight out of the model.
+  std::map<Expr, bool> boolVal;  // ordered by Expr for the evaluation pass
+  for (const auto& [var, lit] : tr.boolVarLit)
+    boolVal[var] = litValue(tr, lit, model);
+  for (const auto& [var, value] : boolVal)
+    cex.bools.emplace_back(cx.varName(var), value);
+  std::sort(cex.bools.begin(), cex.bools.end());
+
+  // 2. e_ij assignments and their union-find closure.
+  UnionFind uf;
+  std::vector<std::pair<std::pair<Expr, Expr>, bool>> eijVal;
+  for (const auto& [pair, lit] : tr.eijLit) {
+    const bool equal = litValue(tr, lit, model);
+    uf.add(pair.first);
+    uf.add(pair.second);
+    if (equal) uf.unite(uf.idOf(pair.first), uf.idOf(pair.second));
+    eijVal.emplace_back(pair, equal);
+    Counterexample::Eij e;
+    e.a = cx.varName(pair.first);
+    e.b = cx.varName(pair.second);
+    if (e.b < e.a) std::swap(e.a, e.b);
+    e.equal = equal;
+    cex.eijs.push_back(std::move(e));
+  }
+  std::sort(cex.eijs.begin(), cex.eijs.end(), [](const auto& x, const auto& y) {
+    return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+  });
+
+  // Transitivity check: an e_ij = false pair whose endpoints the true
+  // pairs merged would mean the transitivity constraints let an
+  // inconsistent model through.
+  for (const auto& [pair, equal] : eijVal)
+    if (!equal && uf.find(uf.idOf(pair.first)) == uf.find(uf.idOf(pair.second)))
+      cex.transitive = false;
+
+  // 3. Scalars: one distinct value per equivalence class, then one more
+  // distinct value for every term variable outside the e_ij graph — the
+  // maximally diverse completion the p-term encoding assumed.
+  std::map<int, std::uint64_t> classValue;
+  std::map<Expr, std::uint64_t> termVal;
+  std::uint64_t nextValue = 0;
+  for (const auto& [pair, equal] : eijVal) {
+    for (Expr v : {pair.first, pair.second}) {
+      if (termVal.count(v)) continue;
+      const int root = uf.find(uf.idOf(v));
+      auto [it, fresh] = classValue.emplace(root, nextValue);
+      if (fresh) ++nextValue;
+      termVal[v] = it->second;
+    }
+  }
+  if (tr.ufRoot != eufm::kNoExpr)
+    for (Expr v : eufm::collectVars(cx, tr.ufRoot))
+      if (cx.kind(v) == eufm::Kind::TermVar && !termVal.count(v))
+        termVal[v] = nextValue++;
+  for (const auto& [var, value] : termVal)
+    cex.terms.emplace_back(cx.varName(var), value);
+  std::sort(cex.terms.begin(), cex.terms.end());
+
+  // 4. Re-evaluate the encoder's input formula under the decoded
+  // assignment: a Sat model of CNF(¬ufRoot) must falsify ufRoot.
+  if (tr.ufRoot != eufm::kNoExpr && cex.transitive) {
+    eufm::Interp in(/*seed=*/0, /*domainSize=*/nextValue + 1);
+    for (const auto& [var, value] : boolVal) in.setBool(var, value);
+    for (const auto& [var, value] : termVal) in.setTerm(var, value);
+    eufm::Evaluator ev(cx, in);
+    cex.falsifiesUfRoot = !ev.evalFormula(tr.ufRoot);
+  }
+
+  // 5. Replay the decoded control schedule against the *original*
+  // correctness formula: with the Boolean controls pinned, search random
+  // term interpretations for a concrete refutation and name the failing
+  // disjunct(s) of the Burch-Dill criterion.
+  if (diagram == nullptr) return cex;
+  for (std::uint64_t seed = 1; seed <= 96 && !cex.replayRefuted; ++seed) {
+    for (const std::uint64_t domain : {2ull, 3ull}) {
+      eufm::Interp in(seed, domain);
+      for (const auto& [var, value] : boolVal) in.setBool(var, value);
+      eufm::Evaluator ev(cx, in);
+      if (ev.evalFormula(diagram->correctness)) continue;
+      cex.replayRefuted = true;
+      cex.replaySeed = seed;
+      cex.replayDomain = domain;
+
+      std::ostringstream os;
+      os << "decoded control schedule:";
+      auto printControl = [&](Expr var) {
+        if (auto v = in.boolOverride(var); v.has_value())
+          os << " " << cx.varName(var) << "=" << (*v ? 1 : 0);
+      };
+      if (impl != nullptr) {
+        for (Expr v : impl->init.valid) printControl(v);
+        for (Expr v : impl->init.validResult) printControl(v);
+        for (Expr v : impl->init.ndExecute) printControl(v);
+        for (Expr v : impl->init.ndFetch) printControl(v);
+      } else {
+        for (const auto& [var, value] : boolVal)
+          if (isOriginalName(cx.varName(var))) printControl(var);
+      }
+      os << "\nconcrete refutation: seed=" << seed << " domain=" << domain
+         << "\nsync disjuncts (need PC and RF for some m):";
+      for (unsigned m = 0; m < diagram->specPc.size(); ++m) {
+        const bool pcOk =
+            ev.evalFormula(cx.mkEq(diagram->implPc, diagram->specPc[m]));
+        const bool rfOk = ev.evalFormula(
+            cx.mkEq(diagram->implRegFile, diagram->specRegFile[m]));
+        os << " m=" << m << ":PC" << (pcOk ? "=" : "!") << ",RF"
+           << (rfOk ? "=" : "!");
+      }
+      cex.prettySlice = os.str();
+      break;
+    }
+  }
+  return cex;
+}
+
+}  // namespace velev::fuzz

@@ -1,0 +1,60 @@
+#include "fuzz/fuzz.hpp"
+
+namespace velev::fuzz {
+
+using models::BugKind;
+
+std::span<const BugKind> generatableBugKinds() {
+  static constexpr BugKind kKinds[] = {
+      BugKind::ForwardingWrongOperand, BugKind::ForwardingStaleResult,
+      BugKind::RetireIgnoresValidResult, BugKind::AluWrongOpcode,
+      BugKind::CompletionSkipsWrite,
+  };
+  return kKinds;
+}
+
+unsigned bugIndexMin(BugKind k) {
+  switch (k) {
+    case BugKind::ForwardingWrongOperand:
+    case BugKind::ForwardingStaleResult:
+      // Slice 1 has no preceding producer to forward from, so both
+      // forwarding defects degenerate to the correct design there.
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+FuzzCase generateCase(Rng& rng, std::uint64_t id, const GenOptions& opts) {
+  FuzzCase c;
+  c.id = id;
+  c.seed = rng.next();
+
+  const unsigned minRob = opts.minRobSize < 1 ? 1 : opts.minRobSize;
+  const unsigned maxRob = opts.maxRobSize < minRob ? minRob : opts.maxRobSize;
+  c.cfg.robSize = static_cast<unsigned>(
+      rng.range(static_cast<std::int64_t>(minRob),
+                static_cast<std::int64_t>(maxRob)));
+  const unsigned maxWidth =
+      opts.maxIssueWidth < c.cfg.robSize ? opts.maxIssueWidth : c.cfg.robSize;
+  c.cfg.issueWidth = static_cast<unsigned>(
+      rng.range(1, static_cast<std::int64_t>(maxWidth < 1 ? 1 : maxWidth)));
+
+  if (rng.chance(opts.noBugPercent, 100)) return c;  // kind == None
+
+  // Draw a kind that has at least one legal slice on this configuration
+  // (the forwarding kinds need a slice >= 2, impossible when robSize == 1).
+  const auto kinds = generatableBugKinds();
+  for (unsigned attempt = 0;; ++attempt) {
+    const BugKind kind = kinds[rng.below(kinds.size())];
+    const unsigned lo = bugIndexMin(kind);
+    const unsigned hi = models::bugIndexLimit(kind, c.cfg);
+    if (lo > hi) continue;  // robSize 1 + forwarding kind: redraw
+    c.bug.kind = kind;
+    c.bug.index = static_cast<unsigned>(
+        rng.range(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+    return c;
+  }
+}
+
+}  // namespace velev::fuzz

@@ -1,0 +1,132 @@
+// The fuzz campaign driver: generate -> cross-check -> (on disagreement)
+// shrink -> emit corpus. Wall-clock enters only between cases (the soft
+// totalWallSeconds stop) and in log lines; every verdict that lands in a
+// corpus file is produced under deterministic logical budgets, so the
+// same seed yields byte-identical corpus output.
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "fuzz/fuzz.hpp"
+#include "support/timer.hpp"
+#include "support/trace.hpp"
+
+namespace velev::fuzz {
+
+namespace {
+
+bool bugDetected(const OracleOutcome& o) {
+  return o.rewriteVerdict == core::Verdict::RewriteMismatch ||
+         o.peVerdict == core::Verdict::CounterexampleFound ||
+         o.evalRefuted;
+}
+
+void logCase(std::ostream& os, const CaseRecord& r) {
+  os << "case " << r.c.id << ": rob " << r.c.cfg.robSize << " width "
+     << r.c.cfg.issueWidth << " bug " << models::bugKindName(r.c.bug.kind);
+  if (r.c.bug.kind != models::BugKind::None) os << ":" << r.c.bug.index;
+  os << " -> rewrite " << core::verdictName(r.o.rewriteVerdict);
+  if (r.o.rewriteFailedSlice != 0) os << "@" << r.o.rewriteFailedSlice;
+  os << ", pe " << core::verdictName(r.o.peVerdict) << ", eval "
+     << (r.o.evalRefuted ? "refuted" : "passed");
+  if (r.o.cex.has_value())
+    os << ", decoded "
+       << (r.o.cex->falsifiesUfRoot ? "consistent" : "INCONSISTENT");
+  if (r.disagreement.has_value()) os << "  ** DISAGREEMENT **";
+  os << "\n";
+}
+
+void writeRepro(const std::string& dir, const CaseRecord& r,
+                const OracleOptions& oracleOpts) {
+  CorpusEntry entry = makeCorpusEntry(r.c, r.o);
+  entry.note = *r.disagreement;
+  std::vector<CorpusEntry> entries{entry};
+  if (r.shrunk.has_value()) {
+    // The shrunk reproducer rides in the same file, re-judged so its
+    // recorded expectations match what replay will see.
+    CorpusEntry min =
+        makeCorpusEntry(r.shrunk->minimal, runOracles(r.shrunk->minimal,
+                                                      oracleOpts));
+    min.note = "shrunk reproducer of case " + std::to_string(r.c.id);
+    entries.push_back(std::move(min));
+  }
+  std::ofstream os(dir + "/repro_case_" + std::to_string(r.c.id) + ".json");
+  writeCorpus(os, entries);
+}
+
+}  // namespace
+
+FuzzReport runFuzz(const FuzzOptions& opts) {
+  TRACE_SPAN("fuzz.run");
+  FuzzReport rep;
+  Timer total;
+  Rng rng(opts.seed);
+
+  if (!opts.outDir.empty())
+    std::filesystem::create_directories(opts.outDir);
+
+  for (unsigned i = 0; i < opts.cases; ++i) {
+    if (opts.totalWallSeconds > 0 && total.seconds() > opts.totalWallSeconds) {
+      rep.casesSkipped = opts.cases - i;
+      if (opts.log != nullptr)
+        *opts.log << "fuzz: soft wall budget reached after " << i
+                  << " cases; skipping the remaining " << rep.casesSkipped
+                  << "\n";
+      break;
+    }
+    CaseRecord r;
+    r.c = generateCase(rng, i, opts.gen);
+    r.o = runOracles(r.c, opts.oracle);
+    r.disagreement = findDisagreement(r.o);
+    ++rep.casesRun;
+    if (r.c.bug.kind != models::BugKind::None) {
+      ++rep.bugsInjected;
+      if (bugDetected(r.o)) ++rep.bugsDetected;
+      else ++rep.benignBugs;
+    }
+    if (r.o.peVerdict == core::Verdict::Correct ||
+        r.o.peVerdict == core::Verdict::CounterexampleFound)
+      ++rep.peRuns;
+    if (r.o.cex.has_value() && r.o.cex->transitive &&
+        r.o.cex->falsifiesUfRoot)
+      ++rep.decoded;
+
+    if (r.disagreement.has_value()) {
+      ++rep.disagreements;
+      if (opts.shrink) {
+        TRACE_SPAN("fuzz.shrink");
+        r.shrunk = shrinkCase(r.c, [&](const FuzzCase& cand) {
+          return findDisagreement(runOracles(cand, opts.oracle)).has_value();
+        });
+      }
+      if (!opts.outDir.empty()) writeRepro(opts.outDir, r, opts.oracle);
+    }
+    if (opts.log != nullptr) logCase(*opts.log, r);
+    rep.records.push_back(std::move(r));
+  }
+
+  if (!opts.outDir.empty()) {
+    std::vector<CorpusEntry> entries;
+    entries.reserve(rep.records.size());
+    for (const CaseRecord& r : rep.records) {
+      CorpusEntry e = makeCorpusEntry(r.c, r.o);
+      if (r.disagreement.has_value()) e.note = *r.disagreement;
+      entries.push_back(std::move(e));
+    }
+    std::ofstream os(opts.outDir + "/corpus.json");
+    writeCorpus(os, entries);
+  }
+
+  rep.seconds = total.seconds();
+  trace::counterSet("fuzz.cases", rep.casesRun);
+  trace::counterSet("fuzz.cases_skipped", rep.casesSkipped);
+  trace::counterSet("fuzz.disagreements", rep.disagreements);
+  trace::counterSet("fuzz.bugs_injected", rep.bugsInjected);
+  trace::counterSet("fuzz.bugs_detected", rep.bugsDetected);
+  trace::counterSet("fuzz.benign_bugs", rep.benignBugs);
+  trace::counterSet("fuzz.pe_runs", rep.peRuns);
+  trace::counterSet("fuzz.decoded", rep.decoded);
+  return rep;
+}
+
+}  // namespace velev::fuzz

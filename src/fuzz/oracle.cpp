@@ -1,0 +1,196 @@
+// The three verdict sources for one fuzz case, and the agreement relation
+// between them.
+//
+// Soundness semantics of each oracle:
+//   * rewriting flow: Correct is a proof of validity. RewriteMismatch is
+//     *structural* — the slice does not match the expected expression
+//     shape — and carries no semantic claim (the completion-skip bug
+//     mismatches although the safety criterion cannot see it). Its SAT
+//     stage runs on the conservative memory model, so CounterexampleFound
+//     there may in principle be an abstraction artifact; we still treat
+//     "rewrite flow refutes but PE proves" as a disagreement, because on
+//     this model family the conservative translation is expected to be
+//     complete once rewriting succeeded (the paper's claim) and a
+//     counterexample out of thin air would be exactly the kind of
+//     regression the fuzzer exists to catch.
+//   * PE-only flow: exact. Correct <=> valid, Sat model <=> real
+//     counterexample of the safety criterion.
+//   * evaluation oracle: sound refutation only (a validity can never be
+//     established by sampling finitely many interpretations).
+#include <sstream>
+
+#include "eufm/eval.hpp"
+#include "fuzz/fuzz.hpp"
+#include "models/spec.hpp"
+#include "support/timer.hpp"
+#include "support/trace.hpp"
+
+namespace velev::fuzz {
+
+namespace {
+
+/// Same idiom as core/verifier.cpp: attach a governor to the context for
+/// one flow, restoring the prior attachment even on unwind.
+class ScopedContextBudget {
+ public:
+  ScopedContextBudget(eufm::Context& cx, BudgetGovernor& gov)
+      : cx_(cx), prior_(cx.budgetGovernor()) {
+    cx_.setBudget(&gov);
+  }
+  ~ScopedContextBudget() { cx_.setBudget(prior_); }
+
+ private:
+  eufm::Context& cx_;
+  BudgetGovernor* prior_;
+};
+
+bool conclusive(core::Verdict v) {
+  return v == core::Verdict::Correct ||
+         v == core::Verdict::CounterexampleFound ||
+         v == core::Verdict::RewriteMismatch;
+}
+
+}  // namespace
+
+bool peFeasible(const models::OoOConfig& cfg) {
+  // Measured on the UNSAT (correct-design) side, the expensive one: 4x2
+  // proves in ~32k conflicts, 3x3 within the default conflict budget,
+  // 6x1 in a few seconds — while 4x3 already needs ~284k conflicts and
+  // 6x3 runs for minutes. Everything outside this envelope is recorded as
+  // Skipped and excluded from the differential.
+  const unsigned n = cfg.robSize, k = cfg.issueWidth;
+  return (k == 1 && n <= 6) || (k == 2 && n <= 4) || (k == 3 && n <= 3);
+}
+
+OracleOutcome runOracles(const FuzzCase& c, const OracleOptions& opts) {
+  TRACE_SPAN("fuzz.case");
+  OracleOutcome out;
+  Timer timer;
+
+  eufm::Context cx;
+  const models::Isa isa = models::Isa::declare(cx);
+  auto impl = models::buildOoO(cx, isa, c.cfg, c.bug);
+  auto spec = models::buildSpec(cx, isa);
+
+  // Oracle 1: the rewriting flow (verifyWith arms its own governor).
+  {
+    TRACE_SPAN("fuzz.oracle.rewrite");
+    core::VerifyOptions vopts;
+    vopts.strategy = core::Strategy::RewritingPlusPositiveEquality;
+    vopts.budget = opts.rewriteBudget;
+    const core::VerifyReport rep = core::verifyWith(cx, isa, *impl, *spec, vopts);
+    out.rewriteVerdict = rep.outcome.verdict;
+    out.rewriteFailedSlice = rep.outcome.failedSlice;
+    out.rewriteReason = rep.outcome.reason;
+  }
+
+  // The diagram for the PE and evaluation oracles. buildDiagram() is
+  // memoized by hash-consing against the verifyWith() run above, so this
+  // re-simulation is cheap.
+  const core::Diagram d = core::buildDiagram(cx, *impl, *spec);
+
+  // Oracle 2: the PE-only flow, hand-rolled (rather than via verifyWith)
+  // because decoding needs the Translation and the SAT model.
+  if (opts.runPe && peFeasible(c.cfg)) {
+    TRACE_SPAN("fuzz.oracle.pe");
+    BudgetGovernor gov(opts.peBudget);
+    ScopedContextBudget attach(cx, gov);
+    try {
+      const evc::Translation tr = evc::translate(cx, d.correctness, {});
+      std::vector<bool> model;
+      sat::Stats stats;
+      const sat::Result r = sat::solveCnf(tr.cnf, &model, &stats,
+                                          opts.peBudget.satConflicts, nullptr,
+                                          &gov);
+      out.peConflicts = stats.conflicts;
+      switch (r) {
+        case sat::Result::Unsat:
+          out.peVerdict = core::Verdict::Correct;
+          break;
+        case sat::Result::Sat:
+          out.peVerdict = core::Verdict::CounterexampleFound;
+          if (opts.decode)
+            out.cex = decodeModel(cx, tr, model, &d, impl.get());
+          break;
+        case sat::Result::Unknown:
+          out.peVerdict = gov.exceeded()
+                              ? (gov.exceededKind() == BudgetKind::Memory
+                                     ? core::Verdict::MemOut
+                                     : core::Verdict::Timeout)
+                              : core::Verdict::Inconclusive;
+          break;
+      }
+    } catch (const BudgetExceeded& e) {
+      out.peVerdict = e.kind() == BudgetKind::Memory ? core::Verdict::MemOut
+                                                     : core::Verdict::Timeout;
+    }
+  }
+
+  // Oracle 3: concrete evaluation of the correctness formula. Sound for
+  // refutation; scenarios alternate between free and pinned scheduling
+  // controls (all NDExecute_i true maximizes observability — an injected
+  // bug on a slice that never executes is invisible).
+  {
+    TRACE_SPAN("fuzz.oracle.eval");
+    for (unsigned i = 0; i < opts.evalSeeds && !out.evalRefuted; ++i) {
+      const std::uint64_t seed = c.seed + 0x9e3779b97f4a7c15ULL * (i + 1);
+      const std::uint64_t domain = (i % 3 == 2) ? 3 : 2;
+      eufm::Interp in(seed, domain);
+      if (i % 2 == 0)
+        for (const eufm::Expr v : impl->init.ndExecute) in.setBool(v, true);
+      eufm::Evaluator ev(cx, in);
+      ++out.evalSeedsRun;
+      if (!ev.evalFormula(d.correctness)) {
+        out.evalRefuted = true;
+        out.evalRefutingSeed = seed;
+      }
+    }
+  }
+
+  out.seconds = timer.seconds();
+  return out;
+}
+
+std::optional<std::string> findDisagreement(const OracleOutcome& o) {
+  std::ostringstream os;
+
+  if (o.evalRefuted && o.rewriteVerdict == core::Verdict::Correct) {
+    os << "rewriting flow proved the design correct but interpretation seed "
+       << o.evalRefutingSeed << " falsifies the correctness formula";
+    return os.str();
+  }
+  if (o.evalRefuted && o.peVerdict == core::Verdict::Correct) {
+    os << "PE-only flow proved the design correct but interpretation seed "
+       << o.evalRefutingSeed << " falsifies the correctness formula";
+    return os.str();
+  }
+  if (conclusive(o.rewriteVerdict) && conclusive(o.peVerdict)) {
+    if (o.rewriteVerdict == core::Verdict::Correct &&
+        o.peVerdict == core::Verdict::CounterexampleFound) {
+      os << "rewriting flow says correct, PE-only flow found a "
+            "counterexample (PE Sat is exact: the design is buggy)";
+      return os.str();
+    }
+    if (o.rewriteVerdict == core::Verdict::CounterexampleFound &&
+        o.peVerdict == core::Verdict::Correct) {
+      os << "rewriting flow found a (conservative-memory) counterexample "
+            "but the PE-only flow proves the design correct";
+      return os.str();
+    }
+  }
+  if (o.cex.has_value()) {
+    if (!o.cex->transitive)
+      return std::string(
+          "decoded e_ij assignment violates transitivity — the transitivity "
+          "constraints of the encoding are broken");
+    if (!o.cex->falsifiesUfRoot)
+      return std::string(
+          "decoded SAT model does not falsify the UF-free formula it was "
+          "encoded from — the propositional encoding is unsound");
+  }
+  // What never counts: RewriteMismatch (structural, conservative) in any
+  // combination, and any inconclusive/budget/skipped verdict.
+  return std::nullopt;
+}
+
+}  // namespace velev::fuzz

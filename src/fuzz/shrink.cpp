@@ -1,0 +1,80 @@
+#include "fuzz/fuzz.hpp"
+
+#include <algorithm>
+
+namespace velev::fuzz {
+
+namespace {
+
+/// Clamp a shrunk candidate back into well-formedness: width <= robSize
+/// and the bug slice inside [bugIndexMin, bugIndexLimit] for its kind.
+FuzzCase normalized(FuzzCase c) {
+  if (c.cfg.robSize < 1) c.cfg.robSize = 1;
+  c.cfg.issueWidth = std::clamp(c.cfg.issueWidth, 1u, c.cfg.robSize);
+  if (c.bug.kind != models::BugKind::None) {
+    const unsigned lo = bugIndexMin(c.bug.kind);
+    const unsigned hi = models::bugIndexLimit(c.bug.kind, c.cfg);
+    if (lo > hi) {
+      // The shrunk config cannot host this bug kind at all (robSize 1 with
+      // a forwarding bug); keep the config large enough instead.
+      c.cfg.robSize = 2;
+      c.bug.index = std::clamp(c.bug.index, lo,
+                               models::bugIndexLimit(c.bug.kind, c.cfg));
+    } else {
+      c.bug.index = std::clamp(c.bug.index, lo, hi);
+    }
+  }
+  return c;
+}
+
+bool sameCase(const FuzzCase& a, const FuzzCase& b) {
+  return a.cfg.robSize == b.cfg.robSize &&
+         a.cfg.issueWidth == b.cfg.issueWidth && a.bug.kind == b.bug.kind &&
+         (a.bug.kind == models::BugKind::None || a.bug.index == b.bug.index);
+}
+
+}  // namespace
+
+ShrinkResult shrinkCase(const FuzzCase& failing,
+                        const ReproPredicate& stillFails,
+                        unsigned maxAttempts) {
+  ShrinkResult res;
+  res.minimal = normalized(failing);
+
+  // Candidate moves, boldest first. Each round re-tries the whole ladder
+  // against the current minimum; greedy + deterministic, so the same
+  // failing case always shrinks to the same reproducer.
+  const auto candidates = [](const FuzzCase& c) {
+    std::vector<FuzzCase> out;
+    auto push = [&](auto mutate) {
+      FuzzCase m = c;
+      mutate(m);
+      m = normalized(m);
+      if (!sameCase(m, c)) out.push_back(m);
+    };
+    push([](FuzzCase& m) { m.cfg.robSize /= 2; });
+    push([](FuzzCase& m) { m.cfg.robSize -= 1; });
+    push([](FuzzCase& m) { m.cfg.issueWidth = 1; });
+    push([](FuzzCase& m) { m.cfg.issueWidth -= 1; });
+    push([](FuzzCase& m) { m.bug.index /= 2; });
+    push([](FuzzCase& m) { m.bug.index -= 1; });
+    return out;
+  };
+
+  bool improved = true;
+  while (improved && res.attempts < maxAttempts) {
+    improved = false;
+    for (const FuzzCase& cand : candidates(res.minimal)) {
+      if (res.attempts >= maxAttempts) break;
+      ++res.attempts;
+      if (!stillFails(cand)) continue;
+      res.minimal = cand;
+      ++res.reductions;
+      improved = true;
+      break;  // restart the ladder from the new minimum
+    }
+  }
+  return res;
+}
+
+}  // namespace velev::fuzz

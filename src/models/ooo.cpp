@@ -14,6 +14,37 @@ std::string numbered(const char* base, unsigned i /*1-based*/) {
 }
 }  // namespace
 
+const char* bugKindName(BugKind k) {
+  switch (k) {
+    case BugKind::None: return "none";
+    case BugKind::ForwardingWrongOperand: return "fwd";
+    case BugKind::ForwardingStaleResult: return "stale";
+    case BugKind::RetireIgnoresValidResult: return "retire";
+    case BugKind::AluWrongOpcode: return "alu";
+    case BugKind::CompletionSkipsWrite: return "completion";
+  }
+  return "none";
+}
+
+std::optional<BugKind> bugKindFromName(std::string_view name) {
+  for (BugKind k : {BugKind::None, BugKind::ForwardingWrongOperand,
+                    BugKind::ForwardingStaleResult,
+                    BugKind::RetireIgnoresValidResult, BugKind::AluWrongOpcode,
+                    BugKind::CompletionSkipsWrite})
+    if (name == bugKindName(k)) return k;
+  return std::nullopt;
+}
+
+unsigned bugIndexLimit(BugKind k, const OoOConfig& cfg) {
+  switch (k) {
+    case BugKind::None: return 0;
+    case BugKind::RetireIgnoresValidResult: return cfg.issueWidth;
+    case BugKind::CompletionSkipsWrite:
+      return cfg.robSize + cfg.issueWidth;
+    default: return cfg.robSize;
+  }
+}
+
 std::unique_ptr<OoOProcessor> buildOoO(eufm::Context& cx, const Isa& isa,
                                        const OoOConfig& cfg,
                                        const BugSpec& bug) {
@@ -29,10 +60,7 @@ std::unique_ptr<OoOProcessor> buildOoO(eufm::Context& cx, const Isa& isa,
   // Validate the bug site: silently ignoring an out-of-range injection
   // would make a "verified correct" answer meaningless.
   if (bug.kind != BugKind::None) {
-    const unsigned limit =
-        bug.kind == BugKind::RetireIgnoresValidResult ? k
-        : bug.kind == BugKind::CompletionSkipsWrite   ? total
-                                                      : n;
+    const unsigned limit = bugIndexLimit(bug.kind, cfg);
     VELEV_CHECK_MSG(bug.index >= 1 && bug.index <= limit,
                     "bug slice index " << bug.index
                                        << " out of range [1, " << limit

@@ -19,6 +19,8 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "models/isa.hpp"
@@ -53,6 +55,20 @@ struct BugSpec {
   BugKind kind = BugKind::None;
   unsigned index = 1;  // 1-based slice
 };
+
+/// Stable lower-case name ("none", "fwd", "stale", "retire", "alu",
+/// "completion") shared by the velev_verify/velev_fuzz CLIs and the fuzz
+/// corpus files.
+const char* bugKindName(BugKind k);
+
+/// Inverse of bugKindName(); unknown names yield nullopt.
+std::optional<BugKind> bugKindFromName(std::string_view name);
+
+/// Highest legal 1-based bug slice for this kind on this configuration —
+/// the same bound buildOoO() enforces: retire bugs live in the k retire
+/// slots, completion bugs anywhere in the N+k flush slices, everything
+/// else in the N fully instantiated ROB entries.
+unsigned bugIndexLimit(BugKind k, const OoOConfig& cfg);
 
 /// Initial-state variable nodes of the implementation processor, exposed so
 /// the rewriting-rule engine can identify update addresses/contexts exactly

@@ -47,3 +47,6 @@
 #include "core/diagram.hpp"
 #include "core/grid_runner.hpp"
 #include "core/verifier.hpp"
+
+// fuzz/ — seeded differential fuzzing, counterexample decoding, corpus.
+#include "fuzz/fuzz.hpp"

@@ -278,6 +278,48 @@ TEST(Cli, GridTraceWritesPerCellAndMergedManifests) {
             cell->find("counters")->uintAt("eufm.nodes"));
 }
 
+TEST(Cli, GridFallbackWithTraceWritesWellFormedCellManifests) {
+  // A 1 MiB arena cannot hold the PE-only translation of an 8x4 design, so
+  // with --fallback retry-with-rewriting (the long alias of "rewrite") the
+  // cell must memout, retry under the rewriting strategy, succeed, and its
+  // per-cell manifest must record the pre-retry verdict.
+  const std::string dir = tmpPath("cli_fallback_trace");
+  const CliResult r = runCli(
+      "--grid 8x4 --strategy pe --mem-budget 1 "
+      "--fallback retry-with-rewriting --trace " + dir + " --quiet");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("retried with rewriting after PE-only memout"),
+            std::string::npos)
+      << r.output;
+
+  auto parseFile = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    auto doc = parseJson(ss.str(), &err);
+    EXPECT_TRUE(doc.has_value()) << path << ": " << err;
+    return doc;
+  };
+
+  const auto cell = parseFile(dir + "/cell_0_8x4.manifest.json");
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->stringAt("tool"), "velev_grid");
+  EXPECT_EQ(cell->stringAt("verdict"), "correct");
+  const JsonValue* config = cell->find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->uintAt("rob_size"), 8u);
+  EXPECT_EQ(config->stringAt("first_verdict"), "memout");
+  EXPECT_GT(cell->find("counters")->uintAt("eufm.nodes"), 0u);
+  EXPECT_TRUE(parseFile(dir + "/cell_0_8x4.trace.json").has_value());
+
+  const auto merged = parseFile(dir + "/manifest.json");
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->stringAt("verdict"), "correct");
+  EXPECT_EQ(merged->find("config")->uintAt("cells"), 1u);
+}
+
 TEST(Cli, JsonReportIsWrittenAndWellFormed) {
   const std::string jsonPath = tmpPath("cli_report.json");
   const CliResult r =

@@ -51,6 +51,34 @@ TEST(Models, BugSiteValidation) {
                InternalError);
 }
 
+TEST(Models, BugIndexLimitMatchesBuildAcceptanceForEveryKind) {
+  // bugIndexLimit() is the fuzz generator's (and the corpus loader's)
+  // contract with buildOoO: index `limit` builds, `limit + 1` throws —
+  // for every kind a fuzz case can carry.
+  const OoOConfig cfg{4, 2};
+  for (const BugKind kind :
+       {BugKind::ForwardingWrongOperand, BugKind::ForwardingStaleResult,
+        BugKind::RetireIgnoresValidResult, BugKind::AluWrongOpcode,
+        BugKind::CompletionSkipsWrite}) {
+    const unsigned limit = bugIndexLimit(kind, cfg);
+    ASSERT_GE(limit, 1u) << bugKindName(kind);
+    Context cx;
+    const Isa isa = Isa::declare(cx);
+    EXPECT_NO_THROW(buildOoO(cx, isa, cfg, {kind, limit}))
+        << bugKindName(kind);
+    EXPECT_THROW(buildOoO(cx, isa, cfg, {kind, limit + 1}), InternalError)
+        << bugKindName(kind);
+  }
+  // The expected per-kind shapes: retire bugs live in the retire width,
+  // completion bugs reach the newly fetched entries, the rest span the ROB.
+  EXPECT_EQ(bugIndexLimit(BugKind::RetireIgnoresValidResult, cfg), 2u);
+  EXPECT_EQ(bugIndexLimit(BugKind::CompletionSkipsWrite, cfg), 6u);
+  EXPECT_EQ(bugIndexLimit(BugKind::AluWrongOpcode, cfg), 4u);
+  EXPECT_EQ(bugIndexLimit(BugKind::ForwardingWrongOperand, cfg), 4u);
+  EXPECT_EQ(bugIndexLimit(BugKind::ForwardingStaleResult, cfg), 4u);
+  EXPECT_EQ(bugIndexLimit(BugKind::None, cfg), 0u);
+}
+
 TEST(Models, EntryCountsMatchConfig) {
   Context cx;
   const Isa isa = Isa::declare(cx);

@@ -27,9 +27,10 @@
 //   --mem-budget MB   logical-arena memory budget per cell; exhaustion
 //                     degrades into verdict `memout` instead of an OOM kill
 //                     (how Table 2's "out of memory" entries reproduce)
-//   --fallback P      grid mode: none (default) | rewrite — retry a cell
-//                     whose PE-only attempt exhausted its budget with the
-//                     rewriting strategy (the paper's headline comparison)
+//   --fallback P      grid mode: none (default) | rewrite (alias:
+//                     retry-with-rewriting) — retry a cell whose PE-only
+//                     attempt exhausted its budget with the rewriting
+//                     strategy (the paper's headline comparison)
 //   --no-coi          disable the cone-of-influence simulator optimization
 //   --dump-cnf FILE   write the correctness CNF in DIMACS format
 //   --proof FILE      log a DRAT proof and self-check it on UNSAT
@@ -283,7 +284,8 @@ int main(int argc, char** argv) {
       budget.memoryBytes = static_cast<std::size_t>(mb) * 1024u * 1024u;
     } else if (a == "--fallback") {
       const std::string s = next();
-      if (s == "rewrite") fallback = core::FallbackPolicy::RetryWithRewriting;
+      if (s == "rewrite" || s == "retry-with-rewriting")
+        fallback = core::FallbackPolicy::RetryWithRewriting;
       else if (s == "none") fallback = core::FallbackPolicy::None;
       else usage(("unknown fallback policy: " + s).c_str());
     } else if (a == "--no-coi") coi = false;
