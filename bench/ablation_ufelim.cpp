@@ -90,6 +90,7 @@ int main() {
               "verdict");
   std::printf("--------+------------+----------+-----------+------------+-"
               "----------+----------\n");
+  bench::JsonReport json("ablation_ufelim");
   for (const Cfg c : {Cfg{16, 4}, Cfg{64, 8}, Cfg{128, 16}}) {
     for (const auto scheme :
          {evc::UfScheme::NestedIte, evc::UfScheme::Ackermann}) {
@@ -107,7 +108,13 @@ int main() {
                   : rep.verdict() == core::Verdict::Inconclusive
                       ? ">budget"
                       : "PROBLEM");
+      bench::writeStandardBench(json, {c.n, c.k},
+                                scheme == evc::UfScheme::NestedIte
+                                    ? "rewrite-nested-ite"
+                                    : "rewrite-ackermann",
+                                rep, rep.totalSeconds());
     }
   }
+  json.write();
   return 0;
 }

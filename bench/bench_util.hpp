@@ -93,6 +93,10 @@ struct JsonCell {
   bool fellBack = false;
   std::string firstVerdict;  // pre-fallback verdict when fellBack
   std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// Per-stage wall seconds ("sim"/"rewrite"/"translate"/"sat"/"bdd"),
+  /// written as a "stage_seconds" object when non-empty (engine_compare
+  /// records both engines' stage splits through this).
+  std::vector<std::pair<std::string, double>> stageSeconds;
 };
 
 class JsonReport {
@@ -155,6 +159,12 @@ class JsonReport {
         for (const auto& [name, value] : c.counters) w.kv(name, value);
         w.endObject();
       }
+      if (!c.stageSeconds.empty()) {
+        w.key("stage_seconds");
+        w.beginObject();
+        for (const auto& [name, value] : c.stageSeconds) w.kv(name, value);
+        w.endObject();
+      }
       w.endObject();
     }
     w.endArray();
@@ -176,6 +186,38 @@ class JsonReport {
   std::vector<std::pair<std::string, double>> notes_;
   Timer total_;  // started at construction
 };
+
+/// Append the standard cell for a finished VerifyReport: verdict, reason,
+/// resource accounting and the canonical counter block
+/// (core::reportCounters — which appends the bdd.* counters whenever the
+/// run used the BDD engine). Every bench that judges cells through
+/// core::verify()/verifyWith() emits its JSON cells through here so the
+/// BENCH_*.json schema stays uniform across benches; benches that go
+/// through the grid runner get the same block via JsonReport::add(
+/// GridCellResult).
+inline void writeStandardBench(JsonReport& json, const models::OoOConfig& cfg,
+                               std::string label,
+                               const core::VerifyReport& rep,
+                               double wallSeconds) {
+  JsonCell c;
+  c.robSize = cfg.robSize;
+  c.issueWidth = cfg.issueWidth;
+  c.label = std::move(label);
+  c.verdict = core::verdictName(rep.verdict());
+  c.reason = rep.outcome.reason;
+  c.wallSeconds = wallSeconds;
+  c.satConflicts = rep.satStats.conflicts;
+  c.peakArenaBytes = rep.outcome.peakArenaBytes;
+  c.memHighWaterKb = rssHighWaterKb();
+  c.counters = core::reportCounters(rep);
+  const core::StageSeconds& s = rep.outcome.seconds;
+  c.stageSeconds = {{"sim", s.sim},
+                    {"rewrite", s.rewrite},
+                    {"translate", s.translate},
+                    {"sat", s.sat},
+                    {"bdd", s.bdd}};
+  json.add(std::move(c));
+}
 
 /// Default / full-scale ROB sizes (paper: 4..1500).
 inline std::vector<unsigned> robSizes() {

@@ -35,18 +35,7 @@ void runCase(bench::JsonReport& json, const char* label,
                 core::verdictName(rep.verdict()), total);
   }
 
-  bench::JsonCell c;
-  c.robSize = cfg.robSize;
-  c.issueWidth = cfg.issueWidth;
-  c.label = label;
-  c.verdict = core::verdictName(rep.verdict());
-  c.reason = rep.outcome.reason;
-  c.wallSeconds = total;
-  c.satConflicts = rep.satStats.conflicts;
-  c.peakArenaBytes = rep.outcome.peakArenaBytes;
-  c.memHighWaterKb = rssHighWaterKb();
-  c.counters = core::reportCounters(rep);
-  json.add(std::move(c));
+  bench::writeStandardBench(json, cfg, label, rep, total);
 }
 
 }  // namespace

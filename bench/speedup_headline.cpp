@@ -65,34 +65,12 @@ int main(int argc, char** argv) {
       "%.3f, translate %.3f, SAT %.3f)\n",
       rwTime, rwOk ? "correct" : "PROBLEM", rwRep.simSeconds(),
       rwRep.rewriteSeconds(), rwRep.translateSeconds(), rwRep.satSeconds());
-  {
-    bench::JsonCell jc;
-    jc.robSize = cfg.robSize;
-    jc.issueWidth = cfg.issueWidth;
-    jc.label = "headline-rewrite";
-    jc.verdict = rwOk ? "correct" : "PROBLEM";
-    jc.wallSeconds = rwTime;
-    jc.satConflicts = rwRep.satStats.conflicts;
-    jc.peakArenaBytes = rwRep.outcome.peakArenaBytes;
-    jc.memHighWaterKb = rssHighWaterKb();
-    json.add(std::move(jc));
-  }
+  bench::writeStandardBench(json, cfg, "headline-rewrite", rwRep, rwTime);
 
   core::VerifyReport peRep;
   const double peTime = runStrategy(cfg, core::Strategy::PositiveEqualityOnly,
                                     budget, &peOk, &peRep);
-  {
-    bench::JsonCell jc;
-    jc.robSize = cfg.robSize;
-    jc.issueWidth = cfg.issueWidth;
-    jc.label = "headline-pe-only";
-    jc.verdict = peOk ? "correct" : "budget-exhausted";
-    jc.wallSeconds = peTime;
-    jc.satConflicts = peRep.satStats.conflicts;
-    jc.peakArenaBytes = peRep.outcome.peakArenaBytes;
-    jc.memHighWaterKb = rssHighWaterKb();
-    json.add(std::move(jc));
-  }
+  bench::writeStandardBench(json, cfg, "headline-pe-only", peRep, peTime);
   if (peOk) {
     std::printf("Positive Equality only        : %8.3f s  (correct)\n",
                 peTime);

@@ -61,16 +61,11 @@ int main(int argc, char** argv) {
 
   bench::JsonReport json("table5_rewrite_stats", jobs);
   for (std::size_t i = 0; i < widths.size(); ++i) {
-    bench::JsonCell jc;
-    jc.robSize = std::max(4 * widths[i], 64u);
-    jc.issueWidth = widths[i];
-    jc.label = cols[i].sizeIndependent ? "size-independent" : "SIZE-DEPENDENT";
-    jc.verdict = core::verdictName(cols[i].rep.verdict());
-    jc.wallSeconds = cols[i].wallSeconds;
-    jc.satConflicts = cols[i].rep.satStats.conflicts;
-    jc.memHighWaterKb = rssHighWaterKb();
-    jc.counters = core::reportCounters(cols[i].rep);
-    json.add(jc);
+    const models::OoOConfig cfg{std::max(4 * widths[i], 64u), widths[i]};
+    bench::writeStandardBench(
+        json, cfg,
+        cols[i].sizeIndependent ? "size-independent" : "SIZE-DEPENDENT",
+        cols[i].rep, cols[i].wallSeconds);
   }
 
   std::printf(

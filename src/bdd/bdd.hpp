@@ -1,0 +1,289 @@
+// Shared reduced ordered BDDs (ROBDDs) with complement edges: the second
+// propositional decision engine, beside CNF + SAT.
+//
+// The method's lineage explicitly compares BDD-based and SAT-based
+// evaluation of the same e_ij-encoded correctness formulas (Bryant–German–
+// Velev; Bryant–Velev, "Boolean Satisfiability with Transitivity
+// Constraints"), so the repository carries a from-scratch BDD package as a
+// genuinely independent implementation: `core::Engine::Both` runs it beside
+// the SAT flow and treats any verdict disagreement as a hard error.
+//
+// Representation (Brace–Rudell–Bryant):
+//   * a BddRef packs (node index << 1) | complement, so negation is free;
+//   * node 0 is the single TRUE terminal — kTrue = 0 and kFalse = 1 (note
+//     this is the *opposite* polarity convention from prop::PLit, whose
+//     node 0 is FALSE);
+//   * only the else (lo) edge of a node may be complemented; the then (hi)
+//     edge is always regular. Consequence: every regular ref evaluates to 1
+//     under the all-ones assignment, which is also why the in-place level
+//     swap used by sifting never needs to flip a stored hi edge.
+//
+// Facilities: per-variable unique subtables (canonicity), ITE with a lossy
+// computed-table cache, protect()/unprotect() roots with mark-and-sweep
+// garbage collection, and sifting-based dynamic variable reordering behind
+// a var<->level indirection. Reordering rewrites nodes in place, so
+// outstanding BddRefs (and memo tables keyed by them) stay valid across a
+// sift — but mkNode() arguments must be built against the *current* order,
+// so automatic reordering only triggers at caller-declared safe points
+// (maybeReorder()), never in the middle of an ITE. A single ITE can still
+// explode between safe points, so node allocation additionally throws
+// ReorderRequest once growth crosses 4x the reorder threshold: callers
+// unwind to their safe point (the partial result is unreferenced garbage),
+// run maybeReorder() and retry the operation against the sifted order.
+//
+// Resource governance mirrors prop::PropCtx: attach a BudgetGovernor and
+// node allocation checkpoints the package's logical bytes on a stride —
+// deterministic MemOut on an arena budget, Timeout on a deadline.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace velev {
+class BudgetGovernor;
+}  // namespace velev
+
+namespace velev::bdd {
+
+/// (node index << 1) | complement. Node 0 is the TRUE terminal.
+using BddRef = std::uint32_t;
+
+constexpr BddRef kTrue = 0;
+constexpr BddRef kFalse = 1;
+
+constexpr BddRef negate(BddRef r) { return r ^ 1u; }
+constexpr std::uint32_t nodeOf(BddRef r) { return r >> 1; }
+constexpr bool isComplement(BddRef r) { return (r & 1u) != 0; }
+
+/// Thrown by node allocation when an operation in flight has grown the
+/// table past the abort limit (armed at 4x the reorder threshold) — i.e.
+/// past the point where the between-operations trigger could have acted.
+/// The partial result is garbage (reclaimed by the next gc()); catch at a
+/// safe point, call reorderAfterAbort() and retry. The limit doubles per
+/// abort, so retries of an irreducibly large operation make progress until
+/// the resource budget trips. Never thrown when reordering is off.
+struct ReorderRequest {};
+
+/// Lifetime statistics of one manager (monotone; survive GC and reorder).
+struct BddStats {
+  std::uint64_t nodesPeak = 0;     // high-water mark of live node count
+  std::uint64_t cacheLookups = 0;  // computed-table probes
+  std::uint64_t cacheHits = 0;
+  std::uint64_t reorderings = 0;   // completed sift passes
+  std::uint64_t swaps = 0;         // adjacent-level swaps
+  std::uint64_t gcRuns = 0;
+  std::uint64_t nodesFreed = 0;    // nodes reclaimed across all GC runs
+};
+
+class BddManager {
+ public:
+  BddManager();
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  // ---- variables and the order ---------------------------------------------
+  /// Allocate a fresh variable, appended at the bottom of the current
+  /// order. Returns its index (dense, 0-based, stable across reorders).
+  unsigned mkVar();
+  unsigned numVars() const { return static_cast<unsigned>(var2level_.size()); }
+  /// Projection function of variable v.
+  BddRef varRef(unsigned v);
+  unsigned levelOf(unsigned v) const { return var2level_[v]; }
+  unsigned varAtLevel(unsigned level) const { return level2var_[level]; }
+
+  // ---- construction --------------------------------------------------------
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+  BddRef mkAnd(BddRef a, BddRef b) { return ite(a, b, kFalse); }
+  BddRef mkOr(BddRef a, BddRef b) { return ite(a, kTrue, b); }
+  BddRef mkXor(BddRef a, BddRef b) { return ite(a, negate(b), b); }
+
+  // ---- structure -----------------------------------------------------------
+  bool isTerminal(BddRef r) const { return nodeOf(r) == 0; }
+  unsigned varOf(BddRef r) const { return nodes_[nodeOf(r)].var; }
+  /// Stored cofactors of the *positive* node (complement of r not applied).
+  BddRef lo(BddRef r) const { return nodes_[nodeOf(r)].lo; }
+  BddRef hi(BddRef r) const { return nodes_[nodeOf(r)].hi; }
+
+  /// Evaluate under a full assignment indexed by variable index.
+  bool eval(BddRef r, const std::vector<bool>& assignment) const;
+  /// One path to TRUE as (variable, value) pairs; r must not be kFalse.
+  /// Variables not on the path are unconstrained.
+  std::vector<std::pair<unsigned, bool>> satOnePath(BddRef r) const;
+  /// Nodes in the cone of r (the terminal excluded).
+  std::uint64_t countNodes(BddRef r) const;
+
+  // ---- garbage collection --------------------------------------------------
+  /// Reference-counted external roots: a protected ref (and its cone)
+  /// survives gc().
+  void protect(BddRef r);
+  void unprotect(BddRef r);
+  /// Mark-and-sweep from the protected roots plus `extraRoots` (a caller's
+  /// transient memo table, cheaper than protecting every entry); returns
+  /// nodes freed. The computed cache is cleared (it may reference swept
+  /// nodes).
+  std::size_t gc(std::span<const BddRef> extraRoots = {});
+
+  // ---- dynamic variable reordering -----------------------------------------
+  /// One sifting pass: every variable is moved through the whole order by
+  /// adjacent-level swaps and parked at its best position (size growth
+  /// while travelling is capped at 2x per variable, and the pass bails out
+  /// if the whole table doubles). Outstanding refs stay valid — nodes are
+  /// rewritten in place — but callers must not be mid-ITE, and because the
+  /// pass runs gc() once swap garbage dominates, every ref that must
+  /// survive has to be protected or listed in extraRoots.
+  void sift(std::span<const BddRef> extraRoots = {});
+  /// Arm automatic reordering (0 disables; the default). The threshold is
+  /// the *live-after-gc* size that triggers a sift; garbage alone only
+  /// triggers gc (paced so at least half the table is dead), never a sift,
+  /// and never moves the threshold. After a sift the threshold re-arms at
+  /// twice the sifted size, so it tracks genuine growth instead of
+  /// ratcheting on garbage. A non-zero threshold also arms the
+  /// mid-operation ReorderRequest abort (see reorderAfterAbort()).
+  void setReorderThreshold(std::uint32_t liveNodes) {
+    reorderThreshold_ = liveNodes;
+    lastGcLive_ = liveNodes_;
+    abortLimit_ = std::uint64_t{liveNodes} * 4;
+  }
+  /// Would maybeReorder() act right now? Callers with a transient memo
+  /// table check this before materializing the extra-roots vector.
+  bool reorderPending() const {
+    return reorderThreshold_ != 0 && liveNodes_ >= gcTrigger();
+  }
+  void maybeReorder(std::span<const BddRef> extraRoots = {});
+  /// Recovery path for a ReorderRequest unwind: unconditionally gc + sift
+  /// + gc (the abort itself is the evidence that the current order is bad
+  /// for the operation in flight, however small the live structure), and
+  /// ratchet the abort limit so the retried operation gets room to finish.
+  void reorderAfterAbort(std::span<const BddRef> extraRoots = {});
+
+  // ---- resource governance -------------------------------------------------
+  /// Attach (or with nullptr, detach) a governor; node allocation then
+  /// checkpoints this package's logical bytes on a stride. A budget trip
+  /// unwinds as BudgetExceeded out of the ite() in flight; the manager
+  /// stays consistent (fully linked nodes only, dead ones await GC).
+  void setBudget(BudgetGovernor* governor);
+  BudgetGovernor* budgetGovernor() const { return budget_; }
+  /// Logical bytes owned by this manager (node arena + subtable buckets +
+  /// computed cache). O(numVars).
+  std::size_t memoryBytes() const;
+
+  std::uint32_t liveNodes() const { return liveNodes_; }
+  const BddStats& stats() const { return stats_; }
+
+  /// Debug/test hook: walk every live node and re-check the structural
+  /// invariants (regular hi edge, lo != hi, children strictly below,
+  /// subtable membership and uniqueness). Throws InternalError on a
+  /// violation; returns true otherwise.
+  bool checkInvariants() const;
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint32_t kTerminalVar = 0xffffffffu;
+  static constexpr std::uint32_t kFreeVar = 0xfffffffeu;
+
+  struct Node {
+    std::uint32_t var = kTerminalVar;
+    BddRef lo = kTrue;
+    BddRef hi = kTrue;
+    std::uint32_t next = kNil;  // unique-subtable bucket chain / free list
+  };
+
+  /// Per-variable unique table: open chaining on (lo, hi).
+  struct SubTable {
+    std::vector<std::uint32_t> buckets;  // node indices, kNil-terminated
+    std::uint32_t count = 0;             // nodes currently labeled this var
+  };
+
+  struct CacheEntry {
+    BddRef f = kNil, g = kNil, h = kNil, result = kNil;
+  };
+
+  /// Level of the top variable of r (terminals live below every level).
+  unsigned topLevel(BddRef r) const {
+    const std::uint32_t v = nodes_[nodeOf(r)].var;
+    return v == kTerminalVar ? kNoLevel : var2level_[v];
+  }
+  static constexpr unsigned kNoLevel = 0x7fffffffu;
+
+  /// Reduced, canonical (var, lo, hi) node — handles the lo == hi collapse
+  /// and pushes a complemented hi edge onto the result ref.
+  BddRef mkNode(unsigned var, BddRef lo, BddRef hi);
+  /// Hash-cons (var, lo, hi) with a regular hi edge.
+  std::uint32_t intern(unsigned var, BddRef lo, BddRef hi);
+  std::uint32_t allocNode();
+  void growBuckets(SubTable& t);
+  static std::size_t hashPair(BddRef lo, BddRef hi) {
+    std::uint64_t x = (static_cast<std::uint64_t>(lo) << 32) | hi;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x);
+  }
+
+  BddRef iteRec(BddRef f, BddRef g, BddRef h);
+  /// Cofactor of f with respect to the variable at level `level`.
+  BddRef cofactor(BddRef f, unsigned level, bool value) const;
+
+  /// Swap the variables at levels `level` and `level + 1` by rewriting the
+  /// affected upper-level nodes in place. Returns nothing; liveNodes_ grows
+  /// by the nodes interned for the rewritten cofactors (dead lower nodes
+  /// are reclaimed by the next gc()).
+  void swapLevels(unsigned level);
+  /// Move variable v from its current level to `target` by adjacent swaps.
+  void moveVarToLevel(unsigned v, unsigned target);
+
+  void markCone(BddRef r, std::vector<std::uint8_t>& marks) const;
+  void clearCache();
+  void maybeGrowCache();
+  void budgetCheckpoint();
+
+  /// Transient parent counts, alive only inside sift(): swap rewrites
+  /// maintain them so `siftLive_` is the *exact* reachable-node count at
+  /// every candidate position. Plain allocated-minus-freed counters cannot
+  /// serve as the sifting metric — swaps orphan nodes that stay in the
+  /// table until gc, which inflates the measurement past any true
+  /// improvement and blinds the hill climb.
+  void buildSiftRefs(std::span<const BddRef> extraRoots);
+  void siftIncRef(std::uint32_t n);
+  void siftDecRef(std::uint32_t n);
+
+  std::vector<Node> nodes_;
+  std::vector<SubTable> subtables_;     // by variable index
+  std::vector<unsigned> var2level_;
+  std::vector<unsigned> level2var_;
+  std::uint32_t freeHead_ = kNil;
+  std::uint32_t liveNodes_ = 1;         // the terminal
+  std::vector<CacheEntry> cache_;       // direct-mapped, lossy
+  std::unordered_map<std::uint32_t, std::uint32_t> protected_;  // node -> count
+
+  std::uint32_t reorderThreshold_ = 0;  // live-after-gc sift trigger; 0 = off
+  std::uint32_t lastGcLive_ = 1;        // live count after the last gc
+  std::uint64_t abortLimit_ = 0;        // mid-operation ReorderRequest trigger
+  bool inSwap_ = false;                 // suppress unwinding mid-swap
+
+  std::vector<std::uint32_t> siftRef_;  // node -> parent count; sift-only
+  std::uint64_t siftLive_ = 0;          // exact reachable count while sifting
+
+  /// Total node count that warrants a gc: the sift threshold, or twice the
+  /// last post-gc live count — whichever is larger, so back-to-back gcs
+  /// always have at least half the table dead to reclaim.
+  std::uint64_t gcTrigger() const {
+    return std::max<std::uint64_t>(reorderThreshold_,
+                                   std::uint64_t{lastGcLive_} * 2);
+  }
+
+  BudgetGovernor* budget_ = nullptr;
+  int budgetSource_ = -1;
+  std::uint32_t budgetTick_ = 0;
+
+  BddStats stats_;
+};
+
+}  // namespace velev::bdd

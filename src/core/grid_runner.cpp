@@ -85,6 +85,7 @@ void writeGridManifest(const std::string& dir, const GridOptions& opts,
   m.config.emplace_back("cells", std::to_string(results.size()));
   m.config.emplace_back("jobs", std::to_string(opts.jobs));
   m.config.emplace_back("strategy", strategyName(opts.verify.strategy));
+  m.config.emplace_back("engine", engineName(opts.verify.engine));
   m.config.emplace_back(
       "fallback", opts.fallback == FallbackPolicy::RetryWithRewriting
                       ? "retry-with-rewriting"
@@ -102,6 +103,7 @@ void writeGridManifest(const std::string& dir, const GridOptions& opts,
     total.rewrite += s.rewrite;
     total.translate += s.translate;
     total.sat += s.sat;
+    total.bdd += s.bdd;
     m.peakArenaBytes =
         std::max(m.peakArenaBytes,
                  static_cast<std::uint64_t>(r.report.outcome.peakArenaBytes));
@@ -118,7 +120,8 @@ void writeGridManifest(const std::string& dir, const GridOptions& opts,
   m.stageSeconds = {{"sim", total.sim},
                     {"rewrite", total.rewrite},
                     {"translate", total.translate},
-                    {"sat", total.sat}};
+                    {"sat", total.sat},
+                    {"bdd", total.bdd}};
   m.counters.assign(counters.begin(), counters.end());
   if (std::ofstream os(dir + "/manifest.json"); os)
     trace::writeManifest(os, m, nullptr);
@@ -176,6 +179,7 @@ trace::ManifestData cellManifestData(const GridCellResult& res,
   m.config.emplace_back("rob_size", std::to_string(res.cell.robSize));
   m.config.emplace_back("issue_width", std::to_string(res.cell.issueWidth));
   m.config.emplace_back("strategy", strategyName(opts.strategy));
+  m.config.emplace_back("engine", engineName(opts.engine));
   m.config.emplace_back("uf_scheme",
                         opts.ufScheme == evc::UfScheme::NestedIte
                             ? "nested-ite"
@@ -197,7 +201,8 @@ trace::ManifestData cellManifestData(const GridCellResult& res,
   m.stageSeconds = {{"sim", s.sim},
                     {"rewrite", s.rewrite},
                     {"translate", s.translate},
-                    {"sat", s.sat}};
+                    {"sat", s.sat},
+                    {"bdd", s.bdd}};
   m.peakArenaBytes = res.report.outcome.peakArenaBytes;
   m.rssHighWaterKb = res.report.outcome.rssHighWaterKb;
   m.counters = reportCounters(res.report);

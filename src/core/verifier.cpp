@@ -1,5 +1,8 @@
 #include "core/verifier.hpp"
 
+#include <algorithm>
+
+#include "bdd/check.hpp"
 #include "rewrite/engine.hpp"
 #include "support/mem.hpp"
 #include "support/timer.hpp"
@@ -11,6 +14,21 @@ using eufm::Expr;
 
 const char* strategyName(Strategy s) {
   return s == Strategy::PositiveEqualityOnly ? "pe-only" : "rw+pe";
+}
+
+const char* engineName(Engine e) {
+  switch (e) {
+    case Engine::Sat: return "sat";
+    case Engine::Bdd: return "bdd";
+    case Engine::Both: return "both";
+  }
+  return "sat";
+}
+
+std::optional<Engine> engineFromName(std::string_view name) {
+  for (Engine e : {Engine::Sat, Engine::Bdd, Engine::Both})
+    if (name == engineName(e)) return e;
+  return std::nullopt;
 }
 
 const char* verdictName(Verdict v) {
@@ -93,7 +111,7 @@ std::vector<std::pair<std::string, std::uint64_t>> reportCounters(
   const evc::TranslationStats& ev = rep.evcStats;
   const rewrite::RewriteStats& rw = rep.rewriteStats;
   const sat::Stats& sa = rep.satStats;
-  return {
+  std::vector<std::pair<std::string, std::uint64_t>> counters = {
       {"tlsim.cycles", rep.simStats.cycles},
       {"tlsim.signal_evals", rep.simStats.signalEvals},
       {"eufm.nodes", rep.cxStats.nodes},
@@ -128,6 +146,15 @@ std::vector<std::pair<std::string, std::uint64_t>> reportCounters(
       {"sat.learnts", sa.learnts},
       {"sat.restarts", sa.restarts},
   };
+  if (rep.engine != Engine::Sat) {
+    const bdd::BddStats& bs = rep.bddStats;
+    counters.emplace_back("bdd.nodes_peak", bs.nodesPeak);
+    counters.emplace_back("bdd.cache_hits", bs.cacheHits);
+    counters.emplace_back("bdd.cache_lookups", bs.cacheLookups);
+    counters.emplace_back("bdd.reorderings", bs.reorderings);
+    counters.emplace_back("bdd.gc_runs", bs.gcRuns);
+  }
+  return counters;
 }
 
 VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
@@ -135,6 +162,7 @@ VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
                         models::SpecProcessor& spec,
                         const VerifyOptions& opts) {
   VerifyReport rep;
+  rep.engine = opts.engine;
   BudgetGovernor gov(opts.budget);
   ScopedContextBudget attach(cx, gov);
 
@@ -146,7 +174,10 @@ VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
   auto finish = [&](Verdict v) -> VerifyReport& {
     *stage += timer.seconds();
     rep.outcome.verdict = v;
-    rep.outcome.peakArenaBytes = gov.peakArenaBytes();
+    // max, not assign: Engine::Both folds its sibling governor's peak in
+    // before finishing.
+    rep.outcome.peakArenaBytes =
+        std::max(rep.outcome.peakArenaBytes, gov.peakArenaBytes());
     rep.outcome.rssHighWaterKb = rssHighWaterKb();
     rep.cxStats = scanContext(cx);
     // Publish the canonical counter block on the attached collector (if
@@ -170,6 +201,9 @@ VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
     Expr correctness = d.correctness;
     evc::TranslateOptions topts;
     topts.ufScheme = opts.ufScheme;
+    // The Bdd-only engine consumes the AIG directly — skip Tseitin and emit
+    // just the transitivity side clauses. Sat and Both need the full CNF.
+    topts.emitCnf = opts.engine != Engine::Bdd;
 
     // 2. Rewriting rules (optional): prove & remove the updates of the
     //    instructions initially in the ROB, then re-assemble the correctness
@@ -211,38 +245,114 @@ VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
     rep.evcStats = tr.stats;
     rep.outcome.seconds.translate = timer.seconds();
 
-    // 4. SAT check: the design is correct iff the CNF is unsatisfiable.
+    // 4. Decision engine(s): the design is correct iff the negated formula
+    //    is unsatisfiable — by CNF + CDCL, by ROBDD reduction to the false
+    //    terminal, or by both with a cross-check.
     if (opts.skipSat) {
       timer.reset();
       return finish(Verdict::Inconclusive);
     }
-    timer.reset();
-    stage = &rep.outcome.seconds.sat;
-    {
-      TRACE_SPAN("verify.sat");
-      rep.outcome.satResult = sat::solveCnf(tr.cnf, nullptr, &rep.satStats,
-                                            opts.budget.satConflicts, nullptr,
-                                            &gov);
+
+    struct EngineVerdict {
+      Verdict verdict = Verdict::Inconclusive;
+      std::string reason;
+      bool conclusive() const {
+        return verdict == Verdict::Correct ||
+               verdict == Verdict::CounterexampleFound;
+      }
+    };
+    std::optional<EngineVerdict> satSide, bddSide;
+
+    if (opts.engine != Engine::Bdd) {
+      timer.reset();
+      stage = &rep.outcome.seconds.sat;
+      {
+        TRACE_SPAN("verify.sat");
+        rep.outcome.satResult = sat::solveCnf(tr.cnf, nullptr, &rep.satStats,
+                                              opts.budget.satConflicts,
+                                              nullptr, &gov);
+      }
+      rep.outcome.seconds.sat = timer.seconds();
+      EngineVerdict ev;
+      switch (rep.outcome.satResult) {
+        case sat::Result::Unsat:
+          ev.verdict = Verdict::Correct;
+          break;
+        case sat::Result::Sat:
+          ev.verdict = Verdict::CounterexampleFound;
+          break;
+        case sat::Result::Unknown:
+          // Either the governor stopped the solver (budget verdict) or the
+          // SAT conflict budget ran out (the classic Inconclusive).
+          if (gov.exceeded()) {
+            ev.verdict = budgetVerdict(gov.exceededKind());
+            ev.reason = gov.exceededReason();
+          } else {
+            ev.verdict = Verdict::Inconclusive;
+            ev.reason = "SAT conflict budget exhausted";
+          }
+          break;
+      }
+      satSide = ev;
     }
-    rep.outcome.seconds.sat = timer.seconds();
+
+    if (opts.engine != Engine::Sat) {
+      timer.reset();
+      stage = &rep.outcome.seconds.bdd;
+      // Under Both the BDD engine runs on a sibling governor armed from the
+      // same budget, so the SAT side's consumption (already charged to
+      // `gov`) cannot pre-trip the BDD side; Bdd-only shares the run's
+      // governor like any other stage.
+      BudgetGovernor sibling(opts.budget);
+      BudgetGovernor& bddGov = opts.engine == Engine::Both ? sibling : gov;
+      bdd::CheckOptions copts;
+      copts.governor = &bddGov;
+      bdd::CheckResult cr;
+      {
+        TRACE_SPAN("verify.bdd");
+        cr = bdd::checkValidity(*tr.pctx, tr.validityRoot,
+                                tr.transitivityClauses(), copts);
+      }
+      rep.outcome.seconds.bdd = timer.seconds();
+      rep.bddStats = cr.stats;
+      rep.outcome.peakArenaBytes =
+          std::max(rep.outcome.peakArenaBytes, bddGov.peakArenaBytes());
+      EngineVerdict ev;
+      switch (cr.status) {
+        case bdd::CheckStatus::Valid:
+          ev.verdict = Verdict::Correct;
+          break;
+        case bdd::CheckStatus::Falsifiable:
+          ev.verdict = Verdict::CounterexampleFound;
+          break;
+        case bdd::CheckStatus::Unknown:
+          ev.verdict = budgetVerdict(cr.tripKind);
+          ev.reason = cr.reason;
+          break;
+      }
+      bddSide = ev;
+    }
     timer.reset();
 
-    switch (rep.outcome.satResult) {
-      case sat::Result::Unsat:
-        return finish(Verdict::Correct);
-      case sat::Result::Sat:
-        return finish(Verdict::CounterexampleFound);
-      case sat::Result::Unknown:
-        break;
+    if (satSide && bddSide && satSide->conclusive() &&
+        bddSide->conclusive() && satSide->verdict != bddSide->verdict) {
+      // A sound disagreement between two independent decision procedures
+      // on the same formula is a library bug, never a verdict.
+      throw InternalError(
+          std::string("engine disagreement: SAT says ") +
+          verdictName(satSide->verdict) + " but BDD says " +
+          verdictName(bddSide->verdict));
     }
-    // Unknown: either the governor stopped the solver (budget verdict) or
-    // the SAT conflict budget ran out (the classic Inconclusive).
-    if (gov.exceeded()) {
-      rep.outcome.reason = gov.exceededReason();
-      return finish(budgetVerdict(gov.exceededKind()));
-    }
-    rep.outcome.reason = "SAT conflict budget exhausted";
-    return finish(Verdict::Inconclusive);
+
+    // Prefer a conclusive answer (they agree when both are conclusive);
+    // otherwise fall back to whichever engine ran, SAT side first.
+    const EngineVerdict& chosen =
+        satSide && satSide->conclusive()   ? *satSide
+        : bddSide && bddSide->conclusive() ? *bddSide
+        : satSide                          ? *satSide
+                                           : *bddSide;
+    rep.outcome.reason = chosen.reason;
+    return finish(chosen.verdict);
   } catch (const BudgetExceeded& e) {
     rep.outcome.reason = e.what();
     return finish(budgetVerdict(e.kind()));

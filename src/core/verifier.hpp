@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "bdd/bdd.hpp"
 #include "core/diagram.hpp"
 #include "evc/translate.hpp"
 #include "models/ooo.hpp"
@@ -44,11 +45,34 @@ enum class Strategy {
 /// bench reports and the run manifests.
 const char* strategyName(Strategy s);
 
+enum class Engine {
+  /// CNF + CDCL SAT (the paper's Chaff flow). The default.
+  Sat,
+  /// Shared-ROBDD evaluation of the negated correctness formula built
+  /// directly from the AIG (no Tseitin), plus the transitivity side
+  /// clauses: Valid iff the result is the false terminal.
+  Bdd,
+  /// Run both engines under sibling budgets and cross-check: a conclusive
+  /// verdict disagreement is a hard error (InternalError), never a
+  /// quietly-picked winner.
+  Both,
+};
+
+/// Stable lower-case name ("sat" / "bdd" / "both") for the CLI flag, the
+/// bench reports and the run manifests.
+const char* engineName(Engine e);
+
+/// Inverse of engineName(); unknown names yield nullopt.
+std::optional<Engine> engineFromName(std::string_view name);
+
 struct VerifyOptions {
   Strategy strategy = Strategy::RewritingPlusPositiveEquality;
+  Engine engine = Engine::Sat;
   tlsim::Simulator::Options sim;
   /// Resource limits for the whole run (wall clock, logical arena bytes,
-  /// SAT conflicts). Default-constructed = unlimited.
+  /// SAT conflicts). Under Engine::Both each engine gets its own governor
+  /// armed from this same budget, so one engine exhausting its share never
+  /// starves the other.
   ResourceBudget budget;
   bool skipSat = false;  // stop after translation (timing benches)
   evc::UfScheme ufScheme = evc::UfScheme::NestedIte;  // ablation hook
@@ -84,7 +108,8 @@ struct StageSeconds {
   double rewrite = 0;    // rewriting rules
   double translate = 0;  // EUFM -> CNF (Tables 2 col. / 4)
   double sat = 0;        // SAT checking (Tables 2 / 3 / 5)
-  double total() const { return sim + rewrite + translate + sat; }
+  double bdd = 0;        // BDD checking (Engine::Bdd / Engine::Both)
+  double total() const { return sim + rewrite + translate + sat + bdd; }
 };
 
 /// The unified result of a verification run: verdict, human-readable
@@ -134,6 +159,11 @@ struct VerifyReport {
   sat::Stats satStats;
   tlsim::Simulator::Stats simStats;
   ContextStats cxStats;
+  /// Which decision engine(s) ran. reportCounters() appends the bdd.*
+  /// block only when this is not Engine::Sat, so SAT-only manifests keep
+  /// their historical counter set.
+  Engine engine = Engine::Sat;
+  bdd::BddStats bddStats;  // zeros when the BDD engine never ran
 
   Verdict verdict() const { return outcome.verdict; }
   double simSeconds() const { return outcome.seconds.sim; }

@@ -87,9 +87,13 @@ Translation translate(eufm::Context& cx, Expr correctness,
   tr.stats.otherPrimaryVars = enc.numOtherPrimary();
 
   // 5. CNF of the negation + transitivity constraints.
-  {
+  if (opts.emitCnf) {
     TRACE_SPAN("translate.cnf");
     tr.cnf = prop::tseitin(*enc.pctx, enc.root, /*negateRoot=*/true);
+  } else {
+    // BDD engine: no Tseitin — the CNF carries only the transitivity
+    // constraints, whose fill-in variables number after the AIG inputs.
+    tr.cnf.numVars = enc.pctx->numVars();
   }
   {
     TRACE_SPAN("translate.transitivity");
@@ -109,6 +113,12 @@ Translation translate(eufm::Context& cx, Expr correctness,
   tr.eijLit = std::move(enc.eijLit);
   tr.pctx = std::move(enc.pctx);
   return tr;
+}
+
+std::span<const prop::Clause> Translation::transitivityClauses() const {
+  const std::size_t n = stats.transitivity.clauses;
+  VELEV_CHECK(n <= cnf.clauses.size());
+  return std::span<const prop::Clause>(cnf.clauses).last(n);
 }
 
 std::optional<bool> Translation::modelValue(

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -33,6 +34,12 @@ struct TranslateOptions {
   /// enough once out-of-order updates have been removed by rewriting.
   bool conservativeMemory = false;
   UfScheme ufScheme = UfScheme::NestedIte;
+  /// With false, the Tseitin step is skipped: `cnf` then holds *only* the
+  /// transitivity constraints (numVars starts at the AIG input count, so
+  /// fill-in edges number straight after the inputs). The BDD engine uses
+  /// this — it consumes validityRoot directly and needs just the side
+  /// clauses, not the CNF of the formula.
+  bool emitCnf = true;
 };
 
 struct TranslationStats {
@@ -72,6 +79,14 @@ struct Translation {
   /// variable, entry 0 unused); nullopt if the variable does not occur.
   std::optional<bool> modelValue(const eufm::Context& cx, eufm::Expr boolVar,
                                  const std::vector<bool>& model) const;
+
+  /// The transitivity constraints over the e_ij (plus fill-in) CNF
+  /// variables — always the trailing stats.transitivity.clauses clauses of
+  /// `cnf`, whichever way it was built: addTransitivityConstraints appends
+  /// them last, and Tseitin auxiliaries never occur in them. The BDD
+  /// engine conjoins exactly these beside ¬validityRoot; dropping them
+  /// would make a satisfying path an unsound counterexample claim.
+  std::span<const prop::Clause> transitivityClauses() const;
 };
 
 Translation translate(eufm::Context& cx, eufm::Expr correctness,

@@ -16,6 +16,7 @@ CorpusEntry makeCorpusEntry(const FuzzCase& c, const OracleOutcome& o) {
   e.rewriteVerdict = core::verdictName(o.rewriteVerdict);
   e.failedSlice = o.rewriteFailedSlice;
   e.peVerdict = core::verdictName(o.peVerdict);
+  e.bddVerdict = core::verdictName(o.bddVerdict);
   e.evalRefuted = o.evalRefuted;
   e.decoded = o.cex.has_value() && o.cex->transitive && o.cex->falsifiesUfRoot;
   return e;
@@ -36,6 +37,9 @@ void writeEntry(JsonWriter& w, const CorpusEntry& e) {
   w.kv("rewrite_verdict", e.rewriteVerdict);
   if (e.failedSlice != 0) w.kv("failed_slice", e.failedSlice);
   w.kv("pe_verdict", e.peVerdict);
+  // Written only when recorded: corpora that predate the BDD oracle have
+  // no bdd_verdict key and replay must keep accepting them.
+  if (!e.bddVerdict.empty()) w.kv("bdd_verdict", e.bddVerdict);
   w.kv("eval_refuted", e.evalRefuted);
   w.kv("decoded", e.decoded);
   if (!e.note.empty()) w.kv("note", e.note);
@@ -87,6 +91,7 @@ std::optional<CorpusEntry> parseCorpusEntry(const JsonValue& v,
   e.rewriteVerdict = v.stringAt("rewrite_verdict");
   e.failedSlice = static_cast<unsigned>(v.uintAt("failed_slice"));
   e.peVerdict = v.stringAt("pe_verdict");
+  e.bddVerdict = v.stringAt("bdd_verdict");  // "" when the key is absent
   if (const JsonValue* b = v.find("eval_refuted"); b != nullptr && b->isBool())
     e.evalRefuted = b->boolean;
   if (const JsonValue* b = v.find("decoded"); b != nullptr && b->isBool())
@@ -164,6 +169,22 @@ std::optional<std::string> replayEntry(const CorpusEntry& e,
   if (recordedConclusive && gotConclusive && *recordedPe != o.peVerdict) {
     os << "PE verdict changed: recorded " << e.peVerdict << ", got "
        << core::verdictName(o.peVerdict);
+    return os.str();
+  }
+  // Same contract for the BDD verdict, with one more escape hatch: an
+  // entry written before the BDD oracle existed records no bdd_verdict at
+  // all (empty string), and is never diffed.
+  const auto recordedBdd = core::verdictFromName(e.bddVerdict);
+  const bool recordedBddConclusive =
+      recordedBdd.has_value() &&
+      (*recordedBdd == core::Verdict::Correct ||
+       *recordedBdd == core::Verdict::CounterexampleFound);
+  const bool gotBddConclusive =
+      o.bddVerdict == core::Verdict::Correct ||
+      o.bddVerdict == core::Verdict::CounterexampleFound;
+  if (recordedBddConclusive && gotBddConclusive && *recordedBdd != o.bddVerdict) {
+    os << "BDD verdict changed: recorded " << e.bddVerdict << ", got "
+       << core::verdictName(o.bddVerdict);
     return os.str();
   }
   if (e.evalRefuted != o.evalRefuted) {

@@ -1,6 +1,6 @@
 // Differential fuzzing of the verification pipeline.
 //
-// The repository has three independent ways to judge one (OoOConfig,
+// The repository has four independent ways to judge one (OoOConfig,
 // BugSpec) case:
 //
 //   1. the rewriting flow (Strategy::RewritingPlusPositiveEquality) — the
@@ -10,9 +10,12 @@
 //      capped and only attempted on small configurations;
 //   3. direct concrete evaluation of the EUFM correctness formula under
 //      random finite interpretations (eufm/eval) — the semantic ground
-//      truth, sound for refutation only.
+//      truth, sound for refutation only;
+//   4. the BDD decision engine (bdd/check) on the same PE translation —
+//      exact like oracle 2 but with a completely different propositional
+//      back end (shared ROBDDs instead of Tseitin CNF + CDCL).
 //
-// The fuzzer generates seeded random cases, runs all three oracles, and
+// The fuzzer generates seeded random cases, runs all four oracles, and
 // flags any *sound* disagreement (see findDisagreement() for the exact
 // agreement relation — RewriteMismatch is a conservative structural
 // verdict and never counts as a claim of semantic invalidity). A PE-only
@@ -132,7 +135,7 @@ Counterexample decodeModel(eufm::Context& cx, const evc::Translation& tr,
                            const core::Diagram* diagram = nullptr,
                            const models::OoOProcessor* impl = nullptr);
 
-// ---- the three oracles ------------------------------------------------------
+// ---- the four oracles -------------------------------------------------------
 
 struct OracleOptions {
   /// Budget for the rewriting flow (unlimited by default — it is
@@ -142,15 +145,25 @@ struct OracleOptions {
   /// by SAT conflicts + arena bytes: logical budgets are deterministic, so
   /// verdicts (and therefore corpus bytes) reproduce across machines.
   ResourceBudget peBudget = peDefaultBudget();
+  /// Budget for the BDD oracle. Logical only (node-table bytes, no wall
+  /// clock) for the same determinism reason; a trip records MemOut and the
+  /// case drops out of the BDD differential.
+  ResourceBudget bddBudget = bddDefaultBudget();
   /// Interpretations tried by the evaluation oracle (half of them pin every
   /// NDExecute_i to true, which maximizes bug observability).
   unsigned evalSeeds = 48;
   bool runPe = true;      // master switch for the PE oracle
-  bool decode = true;     // decode PE Sat models
+  bool runBdd = true;     // master switch for the BDD oracle
+  bool decode = true;     // decode PE Sat models / BDD satisfying paths
   static ResourceBudget peDefaultBudget() {
     ResourceBudget b;
     b.satConflicts = 120000;          // > the 4x2 UNSAT proof (~32k conflicts)
     b.memoryBytes = 512u << 20;       // logical arena bytes, deterministic
+    return b;
+  }
+  static ResourceBudget bddDefaultBudget() {
+    ResourceBudget b;
+    b.memoryBytes = 256u << 20;       // BDD node table + cache, deterministic
     return b;
   }
 };
@@ -159,6 +172,13 @@ struct OracleOptions {
 /// blows up with N and k (Table 2); outside this envelope the PE oracle is
 /// recorded as skipped and excluded from the differential.
 bool peFeasible(const models::OoOConfig& cfg);
+
+/// Is the BDD oracle worth attempting? Strictly inside peFeasible(): on
+/// falsifiable formulas the BDD engine pays seconds of sifting per case
+/// where the SAT side takes milliseconds, so the fuzzer cross-checks only
+/// the cells where the BDD decides quickly, and records everything larger
+/// as Skipped.
+bool bddFeasible(const models::OoOConfig& cfg);
 
 /// What every oracle said about one case.
 struct OracleOutcome {
@@ -169,15 +189,21 @@ struct OracleOutcome {
   core::Verdict peVerdict = core::Verdict::Skipped;
   std::uint64_t peConflicts = 0;
 
+  /// The BDD oracle shares the PE translation (bddFeasible() envelope);
+  /// Skipped when the case is outside it or runBdd is off.
+  core::Verdict bddVerdict = core::Verdict::Skipped;
+  std::uint64_t bddPeakNodes = 0;
+
   bool evalRefuted = false;          // some interpretation falsified the case
   std::uint64_t evalRefutingSeed = 0;
   unsigned evalSeedsRun = 0;
 
-  std::optional<Counterexample> cex;  // decoded PE Sat model
-  double seconds = 0;                 // wall time (never serialized)
+  std::optional<Counterexample> cex;     // decoded PE Sat model
+  std::optional<Counterexample> bddCex;  // decoded BDD satisfying path
+  double seconds = 0;                    // wall time (never serialized)
 };
 
-/// Run all three oracles on one case (fresh Context per call — the
+/// Run all four oracles on one case (fresh Context per call — the
 /// one-Context-per-cell rule applies to fuzz cases too).
 OracleOutcome runOracles(const FuzzCase& c, const OracleOptions& opts = {});
 
@@ -188,8 +214,12 @@ OracleOutcome runOracles(const FuzzCase& c, const OracleOptions& opts = {});
 ///     (PE Sat is exact, not conservative);
 ///   * the PE flow claiming Correct while the rewriting flow's SAT stage
 ///     found a counterexample;
-///   * a decoded PE model that violates transitivity or fails to falsify
-///     the formula it came from (a broken encoding).
+///   * the BDD and PE verdicts disagreeing while both are conclusive (both
+///     are exact deciders of the same formula);
+///   * the BDD oracle claiming Correct while the rewriting flow refutes
+///     (mirror of the PE clause);
+///   * a decoded PE model or BDD path that violates transitivity or fails
+///     to falsify the formula it came from (a broken encoding).
 /// RewriteMismatch is conservative/structural and agrees with anything;
 /// Inconclusive/Timeout/MemOut/Skipped verdicts are excluded.
 std::optional<std::string> findDisagreement(const OracleOutcome& o);
@@ -224,6 +254,10 @@ struct CorpusEntry {
   std::string rewriteVerdict;     // core::verdictName()
   unsigned failedSlice = 0;       // RewriteMismatch only
   std::string peVerdict;          // core::verdictName()
+  /// core::verdictName(), or "" on entries written before the BDD oracle
+  /// existed — the field is serialized only when non-empty and replay only
+  /// diffs it when both sides are conclusive.
+  std::string bddVerdict;
   bool evalRefuted = false;
   bool decoded = false;           // a consistent counterexample was decoded
   std::string note;               // free-form (disagreement text on repros)
@@ -284,6 +318,7 @@ struct FuzzReport {
   unsigned bugsDetected = 0;     // rewrite mismatch or PE counterexample
   unsigned benignBugs = 0;       // injected but semantically invisible
   unsigned peRuns = 0;           // cases where the PE oracle concluded
+  unsigned bddRuns = 0;          // cases where the BDD oracle concluded
   unsigned decoded = 0;          // consistent decoded counterexamples
   double seconds = 0;
 

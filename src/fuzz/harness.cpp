@@ -18,6 +18,7 @@ namespace {
 bool bugDetected(const OracleOutcome& o) {
   return o.rewriteVerdict == core::Verdict::RewriteMismatch ||
          o.peVerdict == core::Verdict::CounterexampleFound ||
+         o.bddVerdict == core::Verdict::CounterexampleFound ||
          o.evalRefuted;
 }
 
@@ -27,7 +28,8 @@ void logCase(std::ostream& os, const CaseRecord& r) {
   if (r.c.bug.kind != models::BugKind::None) os << ":" << r.c.bug.index;
   os << " -> rewrite " << core::verdictName(r.o.rewriteVerdict);
   if (r.o.rewriteFailedSlice != 0) os << "@" << r.o.rewriteFailedSlice;
-  os << ", pe " << core::verdictName(r.o.peVerdict) << ", eval "
+  os << ", pe " << core::verdictName(r.o.peVerdict) << ", bdd "
+     << core::verdictName(r.o.bddVerdict) << ", eval "
      << (r.o.evalRefuted ? "refuted" : "passed");
   if (r.o.cex.has_value())
     os << ", decoded "
@@ -87,6 +89,9 @@ FuzzReport runFuzz(const FuzzOptions& opts) {
     if (r.o.peVerdict == core::Verdict::Correct ||
         r.o.peVerdict == core::Verdict::CounterexampleFound)
       ++rep.peRuns;
+    if (r.o.bddVerdict == core::Verdict::Correct ||
+        r.o.bddVerdict == core::Verdict::CounterexampleFound)
+      ++rep.bddRuns;
     if (r.o.cex.has_value() && r.o.cex->transitive &&
         r.o.cex->falsifiesUfRoot)
       ++rep.decoded;
@@ -125,6 +130,7 @@ FuzzReport runFuzz(const FuzzOptions& opts) {
   trace::counterSet("fuzz.bugs_detected", rep.bugsDetected);
   trace::counterSet("fuzz.benign_bugs", rep.benignBugs);
   trace::counterSet("fuzz.pe_runs", rep.peRuns);
+  trace::counterSet("fuzz.bdd_runs", rep.bddRuns);
   trace::counterSet("fuzz.decoded", rep.decoded);
   return rep;
 }

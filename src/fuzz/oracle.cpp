@@ -17,8 +17,13 @@
 //     counterexample of the safety criterion.
 //   * evaluation oracle: sound refutation only (a validity can never be
 //     established by sampling finitely many interpretations).
+//   * BDD oracle: exact like the PE flow — it decides the very same
+//     translated formula, just with ROBDDs instead of CNF+CDCL — so any
+//     conclusive disagreement between the two is a propositional-back-end
+//     bug by construction.
 #include <sstream>
 
+#include "bdd/check.hpp"
 #include "eufm/eval.hpp"
 #include "fuzz/fuzz.hpp"
 #include "models/spec.hpp"
@@ -62,6 +67,16 @@ bool peFeasible(const models::OoOConfig& cfg) {
   return (k == 1 && n <= 6) || (k == 2 && n <= 4) || (k == 3 && n <= 3);
 }
 
+bool bddFeasible(const models::OoOConfig& cfg) {
+  // Falsifiable cells dominate the cost: correct designs collapse to the
+  // false terminal in milliseconds at any feasible size, but a satisfying
+  // path takes reorder-and-retry work (~1.5 s at 3x2, ~0.5 s at 4x1) and
+  // 4x2 grinds past two minutes. The envelope keeps the worst falsifiable
+  // cell under a couple of seconds so corpus replay stays fast.
+  const unsigned n = cfg.robSize, k = cfg.issueWidth;
+  return (k == 1 && n <= 4) || (k == 2 && n <= 3);
+}
+
 OracleOutcome runOracles(const FuzzCase& c, const OracleOptions& opts) {
   TRACE_SPAN("fuzz.case");
   OracleOutcome out;
@@ -90,39 +105,79 @@ OracleOutcome runOracles(const FuzzCase& c, const OracleOptions& opts) {
   const core::Diagram d = core::buildDiagram(cx, *impl, *spec);
 
   // Oracle 2: the PE-only flow, hand-rolled (rather than via verifyWith)
-  // because decoding needs the Translation and the SAT model.
-  if (opts.runPe && peFeasible(c.cfg)) {
+  // because decoding needs the Translation and the SAT model. The BDD
+  // oracle (4) re-uses the same Translation, so it is built whenever either
+  // back end is on; translation runs under the PE governor, and a trip
+  // before the Translation exists dooms both oracles.
+  std::optional<evc::Translation> tr;
+  const bool wantBdd = opts.runBdd && bddFeasible(c.cfg);
+  if ((opts.runPe && peFeasible(c.cfg)) || wantBdd) {
     TRACE_SPAN("fuzz.oracle.pe");
     BudgetGovernor gov(opts.peBudget);
     ScopedContextBudget attach(cx, gov);
     try {
-      const evc::Translation tr = evc::translate(cx, d.correctness, {});
-      std::vector<bool> model;
-      sat::Stats stats;
-      const sat::Result r = sat::solveCnf(tr.cnf, &model, &stats,
-                                          opts.peBudget.satConflicts, nullptr,
-                                          &gov);
-      out.peConflicts = stats.conflicts;
-      switch (r) {
-        case sat::Result::Unsat:
-          out.peVerdict = core::Verdict::Correct;
-          break;
-        case sat::Result::Sat:
-          out.peVerdict = core::Verdict::CounterexampleFound;
-          if (opts.decode)
-            out.cex = decodeModel(cx, tr, model, &d, impl.get());
-          break;
-        case sat::Result::Unknown:
-          out.peVerdict = gov.exceeded()
-                              ? (gov.exceededKind() == BudgetKind::Memory
-                                     ? core::Verdict::MemOut
-                                     : core::Verdict::Timeout)
-                              : core::Verdict::Inconclusive;
-          break;
+      tr.emplace(evc::translate(cx, d.correctness, {}));
+      if (opts.runPe) {
+        std::vector<bool> model;
+        sat::Stats stats;
+        const sat::Result r = sat::solveCnf(tr->cnf, &model, &stats,
+                                            opts.peBudget.satConflicts, nullptr,
+                                            &gov);
+        out.peConflicts = stats.conflicts;
+        switch (r) {
+          case sat::Result::Unsat:
+            out.peVerdict = core::Verdict::Correct;
+            break;
+          case sat::Result::Sat:
+            out.peVerdict = core::Verdict::CounterexampleFound;
+            if (opts.decode)
+              out.cex = decodeModel(cx, *tr, model, &d, impl.get());
+            break;
+          case sat::Result::Unknown:
+            out.peVerdict = gov.exceeded()
+                                ? (gov.exceededKind() == BudgetKind::Memory
+                                       ? core::Verdict::MemOut
+                                       : core::Verdict::Timeout)
+                                : core::Verdict::Inconclusive;
+            break;
+        }
       }
     } catch (const BudgetExceeded& e) {
-      out.peVerdict = e.kind() == BudgetKind::Memory ? core::Verdict::MemOut
-                                                     : core::Verdict::Timeout;
+      const core::Verdict trip = e.kind() == BudgetKind::Memory
+                                     ? core::Verdict::MemOut
+                                     : core::Verdict::Timeout;
+      if (opts.runPe) out.peVerdict = trip;
+      if (wantBdd && !tr.has_value())
+        out.bddVerdict = trip;  // translation never finished
+    }
+  }
+
+  // Oracle 4: the BDD engine on the shared translation, under its own
+  // deterministic logical budget (and outside the PE governor's scope, so
+  // an exhausted PE budget cannot leak into BDD-side decoding).
+  if (wantBdd && tr.has_value() &&
+      out.bddVerdict == core::Verdict::Skipped) {
+    TRACE_SPAN("fuzz.oracle.bdd");
+    BudgetGovernor gov(opts.bddBudget);
+    bdd::CheckOptions copts;
+    copts.governor = &gov;
+    const bdd::CheckResult res = bdd::checkValidity(
+        *tr->pctx, tr->validityRoot, tr->transitivityClauses(), copts);
+    out.bddPeakNodes = res.stats.nodesPeak;
+    switch (res.status) {
+      case bdd::CheckStatus::Valid:
+        out.bddVerdict = core::Verdict::Correct;
+        break;
+      case bdd::CheckStatus::Falsifiable:
+        out.bddVerdict = core::Verdict::CounterexampleFound;
+        if (opts.decode)
+          out.bddCex = decodeModel(cx, *tr, res.model, &d, impl.get());
+        break;
+      case bdd::CheckStatus::Unknown:
+        out.bddVerdict = res.tripKind == BudgetKind::Memory
+                             ? core::Verdict::MemOut
+                             : core::Verdict::Timeout;
+        break;
     }
   }
 
@@ -178,6 +233,33 @@ std::optional<std::string> findDisagreement(const OracleOutcome& o) {
       return os.str();
     }
   }
+  if (o.evalRefuted && o.bddVerdict == core::Verdict::Correct) {
+    os << "BDD engine proved the design correct but interpretation seed "
+       << o.evalRefutingSeed << " falsifies the correctness formula";
+    return os.str();
+  }
+  if (conclusive(o.peVerdict) && conclusive(o.bddVerdict) &&
+      o.peVerdict != o.bddVerdict) {
+    os << "propositional back ends disagree on the same translation: PE-only "
+          "SAT says "
+       << core::verdictName(o.peVerdict) << " but the BDD engine says "
+       << core::verdictName(o.bddVerdict);
+    return os.str();
+  }
+  if (conclusive(o.rewriteVerdict) && conclusive(o.bddVerdict)) {
+    if (o.rewriteVerdict == core::Verdict::Correct &&
+        o.bddVerdict == core::Verdict::CounterexampleFound) {
+      os << "rewriting flow says correct, BDD engine found a counterexample "
+            "(the BDD check is exact: the design is buggy)";
+      return os.str();
+    }
+    if (o.rewriteVerdict == core::Verdict::CounterexampleFound &&
+        o.bddVerdict == core::Verdict::Correct) {
+      os << "rewriting flow found a (conservative-memory) counterexample "
+            "but the BDD engine proves the design correct";
+      return os.str();
+    }
+  }
   if (o.cex.has_value()) {
     if (!o.cex->transitive)
       return std::string(
@@ -187,6 +269,16 @@ std::optional<std::string> findDisagreement(const OracleOutcome& o) {
       return std::string(
           "decoded SAT model does not falsify the UF-free formula it was "
           "encoded from — the propositional encoding is unsound");
+  }
+  if (o.bddCex.has_value()) {
+    if (!o.bddCex->transitive)
+      return std::string(
+          "decoded BDD satisfying path violates transitivity — the "
+          "transitivity clauses were not conjoined correctly");
+    if (!o.bddCex->falsifiesUfRoot)
+      return std::string(
+          "decoded BDD satisfying path does not falsify the UF-free formula "
+          "it was built from — the BDD construction is unsound");
   }
   // What never counts: RewriteMismatch (structural, conservative) in any
   // combination, and any inconclusive/budget/skipped verdict.

@@ -30,6 +30,10 @@
 #include "sat/portfolio.hpp"
 #include "sat/solver.hpp"
 
+// bdd/ — shared ROBDDs with complement edges: the second decision engine.
+#include "bdd/bdd.hpp"
+#include "bdd/check.hpp"
+
 // tlsim/ + models/ — term-level simulator and the processor models.
 #include "models/isa.hpp"
 #include "models/ooo.hpp"

@@ -77,6 +77,38 @@ TEST(Cli, UsageErrorExitsTwo) {
   EXPECT_EQ(runCli("--jobs 0").exitCode, 2);
 }
 
+TEST(Cli, UnknownEngineIsAUsageError) {
+  const CliResult r = runCli("--engine cnf");
+  EXPECT_EQ(r.exitCode, 2) << r.output;
+  EXPECT_NE(r.output.find("unknown engine"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("usage"), std::string::npos) << r.output;
+}
+
+TEST(Cli, BddEngineVerdictsMatchSat) {
+  const CliResult ok = runCli("--size 2 --width 2 --strategy pe --engine bdd");
+  EXPECT_EQ(ok.exitCode, 0) << ok.output;
+  const CliResult bug =
+      runCli("--size 2 --width 1 --strategy pe --engine bdd --bug stale:2");
+  EXPECT_EQ(bug.exitCode, 1) << bug.output;
+}
+
+TEST(Cli, BothEngineCrossChecksAndAgrees) {
+  const CliResult ok = runCli("--size 2 --width 2 --strategy pe --engine both");
+  EXPECT_EQ(ok.exitCode, 0) << ok.output;
+  const CliResult bug =
+      runCli("--size 2 --width 1 --strategy pe --engine both --bug stale:2");
+  EXPECT_EQ(bug.exitCode, 1) << bug.output;
+  EXPECT_EQ(bug.output.find("disagreement"), std::string::npos) << bug.output;
+}
+
+TEST(Cli, ProofRequiresTheSatEngine) {
+  const std::string proof = tmpPath("engine_proof.drat");
+  const CliResult r = runCli("--size 2 --width 2 --engine bdd --proof " + proof);
+  EXPECT_EQ(r.exitCode, 2) << r.output;
+  EXPECT_NE(r.output.find("--proof requires --engine sat"), std::string::npos)
+      << r.output;
+}
+
 TEST(Cli, BudgetExhaustionExitsThree) {
   const CliResult r =
       runCli("--size 4 --width 4 --strategy pe --budget 1 --quiet");

@@ -39,6 +39,57 @@ TEST(Prop, OrViaDeMorgan) {
   EXPECT_EQ(cx.mkOr(a, b), negate(cx.mkAnd(negate(a), negate(b))));
 }
 
+TEST(Prop, NegationNormalizesToComplementBits) {
+  PropCtx cx;
+  const PLit a = cx.mkVar(), b = cx.mkVar();
+  const PLit f = cx.mkAnd(a, b);
+  // Negation is a bit flip, never a node: same node, flipped polarity, and
+  // the double negation is the identity on AND nodes too.
+  EXPECT_EQ(nodeOf(negate(f)), nodeOf(f));
+  EXPECT_NE(isNegated(negate(f)), isNegated(f));
+  EXPECT_EQ(negate(negate(f)), f);
+  const std::uint32_t nodesBefore = cx.numNodes();
+  EXPECT_EQ(cx.mkNot(f), negate(f));
+  EXPECT_EQ(cx.numNodes(), nodesBefore);  // mkNot allocated nothing
+}
+
+TEST(Prop, AndChainOperandOrderIsCanonical) {
+  PropCtx cx;
+  const PLit a = cx.mkVar(), b = cx.mkVar(), c = cx.mkVar(), d = cx.mkVar();
+  // Operand order is normalized per node, so the same left-fold chain is
+  // the identical literal no matter how each step's operands are written.
+  const PLit chain = cx.mkAnd(cx.mkAnd(cx.mkAnd(a, b), c), d);
+  EXPECT_EQ(chain, cx.mkAnd(d, cx.mkAnd(c, cx.mkAnd(b, a))));
+  const PLit ls[] = {a, b, c, d};
+  EXPECT_EQ(chain, cx.mkAndN(ls));
+  // Associativity is *not* normalized — an AIG keeps the tree shape — but
+  // the two shapes must still be semantically equal.
+  const PLit tree = cx.mkAnd(cx.mkAnd(a, b), cx.mkAnd(c, d));
+  EXPECT_NE(chain, tree);
+  for (int m = 0; m < 16; ++m) {
+    const std::vector<bool> as = {(m & 1) != 0, (m & 2) != 0, (m & 4) != 0,
+                                  (m & 8) != 0};
+    EXPECT_EQ(cx.eval(chain, as), cx.eval(tree, as)) << "minterm " << m;
+  }
+}
+
+TEST(Prop, SharedSubgraphsAreOneNode) {
+  PropCtx cx;
+  const PLit a = cx.mkVar(), b = cx.mkVar(), c = cx.mkVar(), d = cx.mkVar();
+  const PLit ab = cx.mkAnd(a, b);
+  // Two formulas over the same subterm share it physically: building them
+  // allocates only their own top nodes.
+  const std::uint32_t nodesBefore = cx.numNodes();
+  const PLit f = cx.mkOr(ab, c);
+  const PLit g = cx.mkAnd(ab, d);
+  EXPECT_EQ(cx.numNodes(), nodesBefore + 2);
+  // Rebuilding either from scratch allocates nothing at all.
+  const std::uint32_t nodesAfter = cx.numNodes();
+  EXPECT_EQ(cx.mkOr(cx.mkAnd(a, b), c), f);
+  EXPECT_EQ(cx.mkAnd(cx.mkAnd(b, a), d), g);
+  EXPECT_EQ(cx.numNodes(), nodesAfter);
+}
+
 TEST(Prop, EvalTruthTables) {
   PropCtx cx;
   const PLit a = cx.mkVar(), b = cx.mkVar(), c = cx.mkVar();

@@ -19,6 +19,13 @@
 //                     one (N, k) cell per task. Single mode: SAT seed
 //                     portfolio of N racing solver instances.
 //   --strategy S      rewrite (default) | pe
+//   --engine E        sat (default) | bdd | both. `bdd` evaluates the
+//                     negated correctness formula with shared ROBDDs built
+//                     straight from the AIG (no Tseitin CNF) plus the
+//                     transitivity constraints; `both` runs the two engines
+//                     under sibling budgets and exits 2 on any conclusive
+//                     verdict disagreement (the cross-check CI job).
+//                     --proof requires the sat engine
 //   --bug KIND:SLICE  inject a defect: fwd | stale | retire | alu |
 //                     completion, at the given 1-based slice
 //   --budget N        SAT conflict budget (default unlimited)
@@ -52,6 +59,7 @@
 // 3 inconclusive/skipped, 4 timeout/memout. Grid mode aggregates by
 // severity: any bug -> 1, else any timeout/memout -> 4, else any
 // inconclusive/skipped -> 3, else 0.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -160,6 +168,8 @@ void writeJsonReport(const char* path, const char* mode, unsigned jobs,
       w.kv("reason", r.report.outcome.reason);
     w.kv("wall_seconds", r.wallSeconds);
     w.kv("sat_conflicts", r.report.satStats.conflicts);
+    if (r.report.engine != core::Engine::Sat)
+      w.kv("bdd_peak_nodes", r.report.bddStats.nodesPeak);
     w.kv("peak_arena_bytes", r.report.outcome.peakArenaBytes);
     w.kv("mem_high_water_kb", r.memHighWaterKb);
     if (r.fellBack) {
@@ -241,6 +251,7 @@ int runGridMode(const std::vector<core::GridCell>& cells,
 int main(int argc, char** argv) {
   unsigned size = 8, width = 2, jobs = 1;
   bool peOnly = false, quiet = false, coi = true;
+  core::Engine engine = core::Engine::Sat;
   ResourceBudget budget;
   core::FallbackPolicy fallback = core::FallbackPolicy::None;
   models::BugSpec bug;
@@ -268,6 +279,11 @@ int main(int argc, char** argv) {
       if (s == "pe") peOnly = true;
       else if (s == "rewrite") peOnly = false;
       else usage(("unknown strategy: " + s).c_str());
+    } else if (a == "--engine") {
+      const std::string s = next();
+      const auto e = core::engineFromName(s);
+      if (!e.has_value()) usage(("unknown engine: " + s).c_str());
+      engine = *e;
     } else if (a == "--bug") {
       const std::string s = next();
       const auto colon = s.find(':');
@@ -298,6 +314,10 @@ int main(int argc, char** argv) {
     else usage(("unknown option: " + a).c_str());
   }
 
+  if (proofPath && engine != core::Engine::Sat)
+    usage("--proof requires --engine sat (DRAT proofs come from the CDCL "
+          "solver)");
+
   try {
   if (gridSpec) {
     if (dumpCnf || proofPath)
@@ -307,6 +327,7 @@ int main(int argc, char** argv) {
     gopts.verify.strategy = peOnly
         ? core::Strategy::PositiveEqualityOnly
         : core::Strategy::RewritingPlusPositiveEquality;
+    gopts.verify.engine = engine;
     gopts.verify.budget = budget;
     gopts.verify.sim.coneOfInfluence = coi;
     gopts.fallback = fallback;
@@ -344,6 +365,7 @@ int main(int argc, char** argv) {
   core::VerifyOptions vopts;
   vopts.strategy = peOnly ? core::Strategy::PositiveEqualityOnly
                           : core::Strategy::RewritingPlusPositiveEquality;
+  vopts.engine = engine;
   vopts.budget = budget;
   vopts.sim.coneOfInfluence = coi;
 
@@ -351,9 +373,13 @@ int main(int argc, char** argv) {
   Timer total;
   core::GridCellResult cellOut;
   cellOut.cell = core::GridCell{size, width, bug};
+  cellOut.report.engine = engine;
   auto finishJson = [&](core::Verdict v) {
     cellOut.report.outcome.verdict = v;
-    cellOut.report.outcome.peakArenaBytes = gov.peakArenaBytes();
+    // max, not assign: under --engine both the BDD side already recorded
+    // its sibling governor's peak.
+    cellOut.report.outcome.peakArenaBytes =
+        std::max(cellOut.report.outcome.peakArenaBytes, gov.peakArenaBytes());
     cellOut.report.outcome.rssHighWaterKb = rssHighWaterKb();
     cellOut.report.cxStats = core::scanContext(cx);
     cellOut.wallSeconds = total.seconds();
@@ -450,7 +476,10 @@ int main(int argc, char** argv) {
     topts.conservativeMemory = true;
   }
 
-  // Translate.
+  // Translate. The pure-BDD engine skips Tseitin entirely (the CNF then
+  // carries only the transitivity constraints) — unless --dump-cnf still
+  // wants the DIMACS file.
+  topts.emitCnf = engine != core::Engine::Bdd || dumpCnf != nullptr;
   t.reset();
   const evc::Translation tr = [&] {
     TRACE_SPAN("verify.translate");
@@ -458,66 +487,187 @@ int main(int argc, char** argv) {
   }();
   cellOut.report.evcStats = tr.stats;
   cellOut.report.outcome.seconds.translate = t.seconds();
-  if (!quiet)
-    std::printf("translated to CNF in %.3f s: %u vars, %zu clauses, "
-                "%u e_ij variables\n",
-                t.seconds(), tr.cnf.numVars, tr.cnf.numClauses(),
-                tr.stats.eijVars);
+  if (!quiet) {
+    if (topts.emitCnf)
+      std::printf("translated to CNF in %.3f s: %u vars, %zu clauses, "
+                  "%u e_ij variables\n",
+                  t.seconds(), tr.cnf.numVars, tr.cnf.numClauses(),
+                  tr.stats.eijVars);
+    else
+      std::printf("translated in %.3f s: %u propositional inputs, "
+                  "%u transitivity clauses, %u e_ij variables\n",
+                  t.seconds(), tr.pctx->numVars(),
+                  tr.stats.transitivity.clauses, tr.stats.eijVars);
+  }
   if (dumpCnf) {
     std::ofstream out(dumpCnf);
     prop::writeDimacs(tr.cnf, out);
     if (!quiet) std::printf("wrote DIMACS to %s\n", dumpCnf);
   }
 
-  // Solve — with a seed portfolio of `jobs` racing instances when jobs > 1.
-  sat::PortfolioOptions popts;
-  popts.instances = jobs;
-  popts.conflictBudget = budget.satConflicts;
-  popts.wantProof = proofPath != nullptr;
-  popts.budget = &gov;
-  t.reset();
-  const sat::Result r = [&] {
-    TRACE_SPAN("verify.sat");
-    return sat::solvePortfolio(tr.cnf, popts, &prep);
-  }();
-  const double satSec = t.seconds();
-  cellOut.report.satStats = prep.winnerStats;
-  cellOut.report.outcome.satResult = r;
-  cellOut.report.outcome.seconds.sat = satSec;
-  if (!quiet && jobs > 1)
-    std::printf("portfolio: %u instances, instance %d (seed %llu) won\n",
-                jobs, prep.winner,
-                static_cast<unsigned long long>(prep.winnerSeed));
-  switch (r) {
-    case sat::Result::Unsat:
-      if (proofPath) {
-        const bool certified = sat::checkRup(tr.cnf, prep.proof);
-        std::ofstream out(proofPath);
-        sat::writeDrat(prep.proof, out);
-        std::printf("proof: %zu steps, self-check %s, written to %s\n",
-                    prep.proof.size(), certified ? "PASSED" : "FAILED",
-                    proofPath);
-        if (!certified) return 2;
-      }
-      std::printf("verdict: CORRECT (UNSAT in %.3f s)\n", satSec);
-      return finishJson(core::Verdict::Correct);
-    case sat::Result::Sat:
-      std::printf("verdict: COUNTEREXAMPLE FOUND (SAT in %.3f s)\n", satSec);
-      return finishJson(core::Verdict::CounterexampleFound);
-    default:
-      if (gov.exceeded()) {
-        const bool mem = gov.exceededKind() == BudgetKind::Memory;
-        std::printf("verdict: %s (%s after %.3f s)\n",
-                    mem ? "OUT OF MEMORY" : "TIMEOUT",
-                    gov.exceededReason().c_str(), satSec);
-        cellOut.report.outcome.reason = gov.exceededReason();
-        return finishJson(mem ? core::Verdict::MemOut
-                              : core::Verdict::Timeout);
-      }
-      std::printf("verdict: INCONCLUSIVE (budget exhausted after %.3f s)\n",
-                  satSec);
-      return finishJson(core::Verdict::Inconclusive);
+  // Solve with the selected engine(s). Under --engine both each engine's
+  // verdict line carries an engine prefix and the final "verdict:" line is
+  // the cross-checked result; for a single engine the historical output
+  // format is unchanged.
+  struct SideVerdict {
+    core::Verdict v = core::Verdict::Inconclusive;
+    std::string reason;
+    bool conclusive() const {
+      return v == core::Verdict::Correct ||
+             v == core::Verdict::CounterexampleFound;
+    }
+  };
+  std::optional<SideVerdict> satSide, bddSide;
+  const bool both = engine == core::Engine::Both;
+
+  if (engine != core::Engine::Bdd) {
+    // SAT — with a seed portfolio of `jobs` racing instances when jobs > 1.
+    const char* label = both ? "sat verdict" : "verdict";
+    sat::PortfolioOptions popts;
+    popts.instances = jobs;
+    popts.conflictBudget = budget.satConflicts;
+    popts.wantProof = proofPath != nullptr;
+    popts.budget = &gov;
+    t.reset();
+    const sat::Result r = [&] {
+      TRACE_SPAN("verify.sat");
+      return sat::solvePortfolio(tr.cnf, popts, &prep);
+    }();
+    const double satSec = t.seconds();
+    cellOut.report.satStats = prep.winnerStats;
+    cellOut.report.outcome.satResult = r;
+    cellOut.report.outcome.seconds.sat = satSec;
+    if (!quiet && jobs > 1)
+      std::printf("portfolio: %u instances, instance %d (seed %llu) won\n",
+                  jobs, prep.winner,
+                  static_cast<unsigned long long>(prep.winnerSeed));
+    SideVerdict s;
+    switch (r) {
+      case sat::Result::Unsat:
+        if (proofPath) {
+          const bool certified = sat::checkRup(tr.cnf, prep.proof);
+          std::ofstream out(proofPath);
+          sat::writeDrat(prep.proof, out);
+          std::printf("proof: %zu steps, self-check %s, written to %s\n",
+                      prep.proof.size(), certified ? "PASSED" : "FAILED",
+                      proofPath);
+          if (!certified) return 2;
+        }
+        std::printf("%s: CORRECT (UNSAT in %.3f s)\n", label, satSec);
+        s.v = core::Verdict::Correct;
+        break;
+      case sat::Result::Sat:
+        std::printf("%s: COUNTEREXAMPLE FOUND (SAT in %.3f s)\n", label,
+                    satSec);
+        s.v = core::Verdict::CounterexampleFound;
+        break;
+      default:
+        if (gov.exceeded()) {
+          const bool mem = gov.exceededKind() == BudgetKind::Memory;
+          std::printf("%s: %s (%s after %.3f s)\n", label,
+                      mem ? "OUT OF MEMORY" : "TIMEOUT",
+                      gov.exceededReason().c_str(), satSec);
+          s.v = mem ? core::Verdict::MemOut : core::Verdict::Timeout;
+          s.reason = gov.exceededReason();
+        } else {
+          std::printf("%s: INCONCLUSIVE (budget exhausted after %.3f s)\n",
+                      label, satSec);
+          s.v = core::Verdict::Inconclusive;
+        }
+        break;
+    }
+    satSide = s;
+    if (engine == core::Engine::Sat) {
+      cellOut.report.outcome.reason = s.reason;
+      return finishJson(s.v);
+    }
   }
+
+  {
+    // BDD. Under `both` it runs on a sibling governor armed from the same
+    // budget, so a SAT-side exhaustion never starves it (and vice versa).
+    const char* label = both ? "bdd verdict" : "verdict";
+    BudgetGovernor sibling(budget);
+    BudgetGovernor& bddGov = both ? sibling : gov;
+    bdd::CheckOptions copts;
+    copts.governor = &bddGov;
+    t.reset();
+    const bdd::CheckResult res = [&] {
+      TRACE_SPAN("verify.bdd");
+      return bdd::checkValidity(*tr.pctx, tr.validityRoot,
+                                tr.transitivityClauses(), copts);
+    }();
+    const double bddSec = t.seconds();
+    cellOut.report.bddStats = res.stats;
+    cellOut.report.outcome.seconds.bdd = bddSec;
+    cellOut.report.outcome.peakArenaBytes = std::max(
+        cellOut.report.outcome.peakArenaBytes, bddGov.peakArenaBytes());
+    if (!quiet)
+      std::printf("bdd: %llu peak nodes, %llu reorderings, %llu/%llu cache "
+                  "hits\n",
+                  static_cast<unsigned long long>(res.stats.nodesPeak),
+                  static_cast<unsigned long long>(res.stats.reorderings),
+                  static_cast<unsigned long long>(res.stats.cacheHits),
+                  static_cast<unsigned long long>(res.stats.cacheLookups));
+    SideVerdict s;
+    switch (res.status) {
+      case bdd::CheckStatus::Valid:
+        std::printf("%s: CORRECT (BDD reduced to false in %.3f s)\n", label,
+                    bddSec);
+        s.v = core::Verdict::Correct;
+        break;
+      case bdd::CheckStatus::Falsifiable: {
+        std::printf("%s: COUNTEREXAMPLE FOUND (satisfying path in %.3f s)\n",
+                    label, bddSec);
+        s.v = core::Verdict::CounterexampleFound;
+        // Decode the path through the same inverse the fuzzer uses. The
+        // concrete-replay half needs the PE translation of the original
+        // correctness formula, so it only runs on --strategy pe.
+        const fuzz::Counterexample cex = fuzz::decodeModel(
+            cx, tr, res.model, peOnly ? &d : nullptr,
+            peOnly ? impl.get() : nullptr);
+        if (!quiet) {
+          std::printf("counterexample: %zu control bits, %zu e_ij "
+                      "equalities, decode %s\n",
+                      cex.bools.size(), cex.eijs.size(),
+                      cex.transitive && cex.falsifiesUfRoot ? "consistent"
+                                                            : "INCONSISTENT");
+          if (!cex.prettySlice.empty())
+            std::printf("%s\n", cex.prettySlice.c_str());
+        }
+        break;
+      }
+      case bdd::CheckStatus::Unknown: {
+        const bool mem = res.tripKind == BudgetKind::Memory;
+        std::printf("%s: %s (%s after %.3f s)\n", label,
+                    mem ? "OUT OF MEMORY" : "TIMEOUT", res.reason.c_str(),
+                    bddSec);
+        s.v = mem ? core::Verdict::MemOut : core::Verdict::Timeout;
+        s.reason = res.reason;
+        break;
+      }
+    }
+    bddSide = s;
+    if (engine == core::Engine::Bdd) {
+      cellOut.report.outcome.reason = s.reason;
+      return finishJson(s.v);
+    }
+  }
+
+  // --engine both: cross-check, then report the stronger side.
+  if (satSide->conclusive() && bddSide->conclusive() &&
+      satSide->v != bddSide->v) {
+    std::fprintf(stderr,
+                 "error: engine disagreement: SAT says %s but BDD says %s\n",
+                 core::verdictName(satSide->v), core::verdictName(bddSide->v));
+    return 2;
+  }
+  const SideVerdict chosen = satSide->conclusive()   ? *satSide
+                             : bddSide->conclusive() ? *bddSide
+                                                     : *satSide;
+  std::printf("verdict: %s (cross-checked)\n", core::verdictName(chosen.v));
+  cellOut.report.outcome.reason = chosen.reason;
+  return finishJson(chosen.v);
   } catch (const BudgetExceeded& e) {
     const bool mem = e.kind() == BudgetKind::Memory;
     std::printf("verdict: %s (%s after %.3f s)\n",
