@@ -28,6 +28,22 @@ inline bool fullScale() {
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
+/// REPRO_NO_INPROCESS=1 disables the SAT stage's inprocessing front end —
+/// the pre-simplification baseline. Benches that honor it also suffix
+/// their JSON name with "_no_inprocess", so CI can upload both variants of
+/// the same table side by side.
+inline bool noInprocess() {
+  const char* v = std::getenv("REPRO_NO_INPROCESS");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// REPRO_INCREMENTAL=1 shares one incremental SAT session across the grid
+/// cells (sequential execution; see core::GridOptions::incremental).
+inline bool incrementalGrid() {
+  const char* v = std::getenv("REPRO_INCREMENTAL");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
 /// Worker threads for the grid benches: `--jobs N` on the command line, or
 /// the REPRO_JOBS environment variable, else `fallback`.
 inline unsigned parseJobs(int argc, char** argv, unsigned fallback = 1) {

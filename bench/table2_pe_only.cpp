@@ -39,11 +39,15 @@ int main(int argc, char** argv) {
       bench::parseBudget(/*timeoutSecs=*/300, /*memBudgetMb=*/1024,
                          /*satConflicts=*/1500000);
 
-  bench::JsonReport json("table2_pe_only", jobs);
+  const bool noInp = bench::noInprocess();
+  bench::JsonReport json(
+      noInp ? "table2_pe_only_no_inprocess" : "table2_pe_only", jobs);
   core::GridOptions gopts;
   gopts.jobs = jobs;
   gopts.verify.strategy = core::Strategy::PositiveEqualityOnly;
   gopts.verify.budget = budget;
+  gopts.verify.inprocess.enabled = !noInp;
+  gopts.incremental = bench::incrementalGrid();
   const std::vector<core::GridCell> cells = core::makeGrid(sizes, widths);
   const std::vector<core::GridCellResult> results =
       core::runGrid(cells, gopts);
@@ -94,6 +98,8 @@ int main(int argc, char** argv) {
       "REPRO_SAT_BUDGET; %u jobs)\n",
       budget.wallSeconds, budget.memoryBytes / (1024 * 1024),
       static_cast<long long>(budget.satConflicts), jobs);
+  json.note("inprocess", noInp ? 0 : 1);
+  json.note("incremental", gopts.incremental ? 1 : 0);
   json.note("conflict_budget", static_cast<double>(budget.satConflicts));
   json.note("timeout_seconds", budget.wallSeconds);
   json.note("mem_budget_mb",

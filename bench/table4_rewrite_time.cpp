@@ -20,11 +20,18 @@ int main(int argc, char** argv) {
   const auto sizes = bench::robSizes();
   const auto widths = bench::issueWidths();
 
-  bench::JsonReport json("table4_rewrite_time", jobs);
+  const bool noInp = bench::noInprocess();
+  bench::JsonReport json(
+      noInp ? "table4_rewrite_time_no_inprocess" : "table4_rewrite_time",
+      jobs);
   core::GridOptions gopts;
   gopts.jobs = jobs;
   gopts.verify.strategy = core::Strategy::RewritingPlusPositiveEquality;
   gopts.verify.skipSat = true;  // translation timing only; Table 5 runs SAT
+  // skipSat still runs the inprocessing pipeline (stats only), so the
+  // sat.inprocess.clauses_before/after counters record the before/after
+  // CNF sizes of the rewriting+PE encoding.
+  gopts.verify.inprocess.enabled = !noInp;
   const std::vector<core::GridCell> cells = core::makeGrid(sizes, widths);
   const std::vector<core::GridCellResult> results =
       core::runGrid(cells, gopts);
@@ -56,6 +63,7 @@ int main(int argc, char** argv) {
       "\n(simulation time is Table 1; SAT time and CNF statistics are "
       "Table 5; %u jobs)\n",
       jobs);
+  json.note("inprocess", noInp ? 0 : 1);
   json.write();
   return 0;
 }

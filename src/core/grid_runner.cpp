@@ -43,7 +43,8 @@ GridCellResult skippedCell(const GridCell& cell) {
 }
 
 GridCellResult runCell(const GridCell& cell, const GridOptions& opts,
-                       std::size_t index) {
+                       std::size_t index,
+                       sat::IncrementalSession* session = nullptr) {
   GridCellResult res;
   res.cell = cell;
   Timer t;
@@ -57,7 +58,9 @@ GridCellResult runCell(const GridCell& cell, const GridOptions& opts,
     // for this cell (the one-context-per-cell ownership rule; see the
     // header), so budgets are strictly per cell.
     const models::OoOConfig cfg{cell.robSize, cell.issueWidth};
-    res.report = verify(cfg, cell.bug, opts.verify);
+    VerifyOptions vopts = opts.verify;
+    vopts.satSession = session;
+    res.report = verify(cfg, cell.bug, vopts);
 
     if (opts.fallback == FallbackPolicy::RetryWithRewriting &&
         res.report.outcome.budgetExceeded() &&
@@ -66,6 +69,7 @@ GridCellResult runCell(const GridCell& cell, const GridOptions& opts,
       res.firstVerdict = res.report.outcome.verdict;
       VerifyOptions retry = opts.verify;
       retry.strategy = Strategy::RewritingPlusPositiveEquality;
+      retry.satSession = nullptr;  // different strategy, fresh solver
       res.report = verify(cfg, cell.bug, retry);
     }
   }
@@ -90,6 +94,9 @@ void writeGridManifest(const std::string& dir, const GridOptions& opts,
       "fallback", opts.fallback == FallbackPolicy::RetryWithRewriting
                       ? "retry-with-rewriting"
                       : "none");
+  m.config.emplace_back("incremental", opts.incremental ? "true" : "false");
+  m.config.emplace_back(
+      "inprocess", opts.verify.inprocess.enabled ? "true" : "false");
   m.budgetWallSeconds = opts.verify.budget.wallSeconds;
   m.budgetMemoryBytes = opts.verify.budget.memoryBytes;
   m.budgetSatConflicts = opts.verify.budget.satConflicts;
@@ -136,13 +143,18 @@ std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
   if (!opts.traceDir.empty())
     std::filesystem::create_directories(opts.traceDir);
 
-  if (opts.jobs <= 1) {
+  if (opts.jobs <= 1 || opts.incremental) {
+    // One shared incremental session for the whole (sequential) grid: the
+    // session is single-threaded by design, so `incremental` overrides
+    // `jobs`.
+    sat::IncrementalSession session({}, opts.verify.inprocess);
+    sat::IncrementalSession* shared = opts.incremental ? &session : nullptr;
     for (std::size_t i = 0; i < cells.size(); ++i) {
       if (cancel != nullptr && cancel->cancelled()) {
         results[i] = skippedCell(cells[i]);
         continue;
       }
-      results[i] = runCell(cells[i], opts, i);
+      results[i] = runCell(cells[i], opts, i, shared);
     }
     if (!opts.traceDir.empty())
       writeGridManifest(opts.traceDir, opts, results);

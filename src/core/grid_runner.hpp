@@ -69,6 +69,15 @@ struct GridOptions {
   /// merged `manifest.json` summing stage times and counters over the grid.
   /// The directory is created if missing.
   std::string traceDir;
+  /// Share one incremental SAT session (sat/incremental.hpp) across the
+  /// grid: VSIDS activities, saved phases and retained learnt clauses
+  /// carry from cell to cell, which pays exactly where cells are closely
+  /// related (same strategy, adjacent N/width). Forces sequential
+  /// execution — the session is single-threaded by design, mirroring the
+  /// one-Context-per-cell rule — so `jobs` is treated as 1. A fallback
+  /// retry (different strategy => different variable skeleton) always runs
+  /// on a fresh solver.
+  bool incremental = false;
 };
 
 /// Verify every cell of `cells`; results come back in input order. With

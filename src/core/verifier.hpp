@@ -26,6 +26,8 @@
 #include "evc/translate.hpp"
 #include "models/ooo.hpp"
 #include "rewrite/engine.hpp"
+#include "sat/incremental.hpp"
+#include "sat/simplify.hpp"
 #include "sat/solver.hpp"
 #include "support/budget.hpp"
 
@@ -76,6 +78,17 @@ struct VerifyOptions {
   ResourceBudget budget;
   bool skipSat = false;  // stop after translation (timing benches)
   evc::UfScheme ufScheme = evc::UfScheme::NestedIte;  // ablation hook
+  /// Inprocessing front end of the SAT stage (simplify.hpp). Enabled by
+  /// default; `--no-inprocess` clears `inprocess.enabled`. Ignored by the
+  /// BDD-only engine (which never builds clause databases).
+  sat::InprocessOptions inprocess;
+  /// When set, the SAT stage solves through this shared incremental
+  /// session (activation-selector encoding) instead of a fresh solver —
+  /// the grid runner passes one session per strategy so VSIDS activity,
+  /// saved phases and retained learnt clauses carry across cells. The
+  /// session's own InprocessOptions govern simplification; the run's
+  /// governor is attached for the duration of the call. Not owned.
+  sat::IncrementalSession* satSession = nullptr;
 };
 
 enum class Verdict {
@@ -164,6 +177,12 @@ struct VerifyReport {
   /// their historical counter set.
   Engine engine = Engine::Sat;
   bdd::BddStats bddStats;  // zeros when the BDD engine never ran
+  /// CNF inprocessing statistics of the SAT stage; `inprocessed` says
+  /// whether the pipeline ran at all (reportCounters() appends the
+  /// sat.inprocess.* block only then, so --no-inprocess manifests keep the
+  /// historical counter set).
+  bool inprocessed = false;
+  sat::InprocessStats inprocessStats;
 
   Verdict verdict() const { return outcome.verdict; }
   double simSeconds() const { return outcome.seconds.sim; }

@@ -155,6 +155,13 @@ struct OracleOptions {
   bool runPe = true;      // master switch for the PE oracle
   bool runBdd = true;     // master switch for the BDD oracle
   bool decode = true;     // decode PE Sat models / BDD satisfying paths
+  /// Inprocessing front end of the PE oracle's SAT stage. Enabled by
+  /// default: every Sat model is reconstructed onto the original CNF
+  /// variables before decoding, so the decode sanity checks (transitivity,
+  /// falsifies-UF-root) double as a reconstruction round-trip oracle. The
+  /// deterministic tick caps keep budget-capped verdicts (and therefore
+  /// corpus bytes) machine-independent.
+  sat::InprocessOptions inprocess;
   static ResourceBudget peDefaultBudget() {
     ResourceBudget b;
     b.satConflicts = 120000;          // > the 4x2 UNSAT proof (~32k conflicts)

@@ -120,9 +120,12 @@ OracleOutcome runOracles(const FuzzCase& c, const OracleOptions& opts) {
       if (opts.runPe) {
         std::vector<bool> model;
         sat::Stats stats;
-        const sat::Result r = sat::solveCnf(tr->cnf, &model, &stats,
-                                            opts.peBudget.satConflicts, nullptr,
-                                            &gov);
+        // Inprocessed solve: a Sat model comes back reconstructed over the
+        // ORIGINAL CNF variables, so decodeModel() below reads primary
+        // inputs exactly as it would from an untouched solver.
+        const sat::Result r = sat::solveCnfInprocessed(
+            tr->cnf, opts.inprocess, &model, &stats,
+            opts.peBudget.satConflicts, nullptr, &gov);
         out.peConflicts = stats.conflicts;
         switch (r) {
           case sat::Result::Unsat:

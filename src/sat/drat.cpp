@@ -16,12 +16,15 @@ class RupChecker {
  public:
   explicit RupChecker(unsigned numVars) : numVars_(numVars) {}
 
-  void addClause(const prop::Clause& c) { db_.push_back(c); }
+  /// Clauses are stored normalized (sorted, duplicate literals removed):
+  /// a duplicate-literal clause like (x x x) would otherwise inflate the
+  /// unassigned count in isRup and never propagate as the unit it is.
+  void addClause(const prop::Clause& c) { db_.push_back(normalized(c)); }
 
   void deleteClause(const prop::Clause& c) {
     prop::Clause key = normalized(c);
     for (std::size_t i = 0; i < db_.size(); ++i) {
-      if (normalized(db_[i]) == key) {
+      if (db_[i] == key) {
         db_[i] = db_.back();
         db_.pop_back();
         return;
@@ -103,6 +106,19 @@ bool checkRup(const prop::Cnf& cnf, const Proof& proof) {
     checker.addClause(step.clause);
   }
   return true;
+}
+
+bool checkRupUnderAssumptions(const prop::Cnf& cnf,
+                              std::span<const prop::CnfLit> assumptions,
+                              const Proof& proof) {
+  prop::Cnf extended = cnf;
+  for (const prop::CnfLit a : assumptions) extended.addClause({a});
+  Proof closed = proof;
+  // An assumption-caused Unsat ends the proof with the failed-assumption
+  // clause (over negated assumptions): with the assumption units present it
+  // propagates straight to a conflict, so the empty clause is RUP here.
+  if (!closed.endsWithEmptyClause()) closed.add({});
+  return checkRup(extended, closed);
 }
 
 void writeDrat(const Proof& proof, std::ostream& os) {

@@ -1,0 +1,100 @@
+// Incremental SAT session: one long-lived Solver shared by a sequence of
+// closely-related formulas (grid cells of the same strategy), using the
+// activation-selector encoding:
+//
+//   * each call i gets a fresh selector variable s_i,
+//   * every clause C of call i is loaded as C ∨ ¬s_i,
+//   * the call is solved under the assumption s_i (plus any caller
+//     assumptions), so only "its" clauses are active,
+//   * the selector stays ACTIVE until a different formula arrives: a call
+//     whose clauses and frozen assumption variables are identical to the
+//     previous call's is solved under the same selector with nothing
+//     reloaded or re-simplified, so its learnt clauses (all guarded by
+//     ¬s_i) stay live — repeated solves under varying assumptions are the
+//     workload where incremental reuse pays,
+//   * when a different formula does arrive, the old selector is retired
+//     with the permanent unit ¬s_i and every satisfied clause (the retired
+//     call's clauses and its selector-guarded learnts) is purged from the
+//     watch lists, so later calls never pay propagation cost for dead
+//     clauses.
+//
+// Variable mapping keeps distinct calls' variables IDENTIFIED, not disjoint:
+// cell variable v maps to session variable 2v-1 (odd) and selector i to 2i
+// (even). Cells of one strategy share their low-numbered variables (same
+// netlist skeleton), so VSIDS activities, saved phases and retained learnt
+// clauses carry useful information from one cell to the next — that is the
+// point of the session. The mapping is collision-free by parity.
+//
+// Each call's CNF is first run through sat::inprocess() in its own variable
+// space (assumption variables frozen), and a Sat model is reconstructed back
+// onto the ORIGINAL cell variables before being returned.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "prop/cnf.hpp"
+#include "sat/simplify.hpp"
+#include "sat/solver.hpp"
+
+namespace velev::sat {
+
+class IncrementalSession {
+ public:
+  explicit IncrementalSession(Options opts = {}, InprocessOptions iopts = {})
+      : solver_(opts), iopts_(iopts) {}
+
+  /// Solve one formula in the shared session. `assumptions` are DIMACS
+  /// literals in the CELL's variable space, as is the returned model.
+  /// Unsat answers never poison the session (the cell's clauses are only
+  /// active under its selector).
+  Result solveCell(const prop::Cnf& cnf,
+                   std::span<const prop::CnfLit> assumptions = {},
+                   std::vector<bool>* model = nullptr, Stats* stats = nullptr,
+                   InprocessStats* istats = nullptr,
+                   std::int64_t conflictBudget = -1);
+
+  /// Failed assumptions of the last Unsat call, mapped back to cell
+  /// literals (the internal selector is filtered out).
+  const prop::Clause& failedAssumptions() const { return failed_; }
+
+  void setBudget(BudgetGovernor* governor) {
+    budget_ = governor;
+    solver_.setBudget(governor);
+  }
+  void setCancel(const std::atomic<bool>* flag) { solver_.setCancel(flag); }
+
+  std::size_t calls() const { return calls_; }
+  /// Learnt clauses currently retained by the shared solver.
+  std::size_t retainedLearntCount() const { return solver_.numLearnts(); }
+  /// Cumulative solver statistics across all calls.
+  const Stats& cumulativeStats() const { return solver_.stats(); }
+
+  /// Calls whose formula was recognized as identical to the previous call's
+  /// (same clauses, same frozen assumption variables) and served through the
+  /// still-active selector: no reload, no re-simplification, and the
+  /// previous call's learnt clauses stay live. This is where incremental
+  /// reuse pays — repeated solves of one formula under varying assumptions
+  /// (fuzz shrink loops, bug sweeps, re-verification).
+  std::size_t reusedCalls() const { return reusedCalls_; }
+
+ private:
+  void retireActiveSelector();
+
+  Solver solver_;
+  InprocessOptions iopts_;
+  BudgetGovernor* budget_ = nullptr;
+  prop::Clause failed_;
+  std::size_t calls_ = 0;
+  std::size_t reusedCalls_ = 0;
+
+  // The last loaded call, kept for the identical-formula fast path. The
+  // selector stays active (unretired) until a different formula arrives.
+  prop::CnfLit activeSelector_ = 0;
+  prop::Cnf lastCnf_;
+  std::vector<std::uint32_t> lastFrozen_;
+  SimplifyResult lastSimplified_;
+};
+
+}  // namespace velev::sat

@@ -24,7 +24,32 @@ Options portfolioInstanceOptions(const PortfolioOptions& opts, unsigned i) {
 Result solvePortfolio(const prop::Cnf& cnf, const PortfolioOptions& opts,
                       PortfolioReport* report) {
   const unsigned k = std::max(1u, opts.instances);
+  // Warm-start clauses are learnt consequences, not axioms of the formula
+  // — a DRAT proof built on top of them would not check against `cnf`.
+  VELEV_CHECK(!(opts.wantProof && !opts.warmStart.empty()));
   Timer timer;
+
+  // Shared inprocessing front end: simplify once, race everyone on the
+  // result. Assumption variables are frozen so the simplified CNF stays
+  // equisatisfiable under the assumptions.
+  const prop::Cnf* problem = &cnf;
+  SimplifyResult simplified;
+  Proof inprocessProof;
+  if (opts.inprocess.enabled) {
+    std::vector<std::uint32_t> frozen;
+    frozen.reserve(opts.assumptions.size());
+    for (const prop::CnfLit a : opts.assumptions)
+      frozen.push_back(static_cast<std::uint32_t>(a > 0 ? a : -a));
+    simplified = inprocess(cnf, opts.inprocess,
+                           opts.wantProof ? &inprocessProof : nullptr,
+                           opts.budget, frozen);
+    problem = &simplified.cnf;
+    if (report) report->inprocessStats = simplified.stats;
+    // When the pipeline refutes the formula outright, the simplified CNF
+    // contains the empty clause and every instance below returns Unsat on
+    // load — the race still runs so per-seed stats, the winner, and the
+    // combined proof are reported uniformly on every path.
+  }
 
   // Per-instance state: written only by the owning task, read after join.
   struct Slot {
@@ -32,6 +57,8 @@ Result solvePortfolio(const prop::Cnf& cnf, const PortfolioOptions& opts,
     Stats stats;
     std::vector<bool> model;
     Proof proof;
+    prop::Clause failed;
+    std::vector<prop::Clause> retained;
   };
   std::vector<Slot> slots(k);
   std::atomic<bool> cancel{false};
@@ -40,7 +67,7 @@ Result solvePortfolio(const prop::Cnf& cnf, const PortfolioOptions& opts,
   // Pool workers have no trace collector attached; carry the caller's over
   // so per-instance spans land in the same (mutex-protected) collector.
   trace::Collector* collector = trace::active();
-  auto runInstance = [&, collector](unsigned i) {
+  auto runInstance = [&, collector, problem](unsigned i) {
     trace::Use tracing(collector);
     TRACE_SPAN("sat.instance");
     Slot& slot = slots[i];
@@ -48,10 +75,17 @@ Result solvePortfolio(const prop::Cnf& cnf, const PortfolioOptions& opts,
     if (opts.wantProof) solver.setProof(&slot.proof);
     solver.setCancel(&cancel);
     solver.setBudget(opts.budget);
-    solver.ensureVars(cnf.numVars);
+    solver.ensureVars(problem->numVars);
     bool ok = true, aborted = false;
     std::size_t loaded = 0;
-    for (const auto& c : cnf.clauses) {
+    for (const auto& c : opts.warmStart) {
+      if (!solver.addClause(c)) {
+        ok = false;
+        break;
+      }
+    }
+    for (const auto& c : problem->clauses) {
+      if (!ok) break;
       if (solver.cancelled() ||
           ((++loaded & 0xfffu) == 0 && solver.pollBudget())) {
         aborted = true;
@@ -62,15 +96,19 @@ Result solvePortfolio(const prop::Cnf& cnf, const PortfolioOptions& opts,
         break;
       }
     }
-    const Result r = aborted ? Result::Unknown
-                   : ok      ? solver.solve(opts.conflictBudget)
-                             : Result::Unsat;
+    const Result r =
+        aborted ? Result::Unknown
+        : ok    ? solver.solve(opts.assumptions, opts.conflictBudget)
+                : Result::Unsat;
     slot.stats = solver.stats();
     if (r == Result::Sat) {
-      slot.model.assign(cnf.numVars + 1, false);
-      for (std::uint32_t v = 1; v <= cnf.numVars; ++v)
+      slot.model.assign(problem->numVars + 1, false);
+      for (std::uint32_t v = 1; v <= problem->numVars; ++v)
         slot.model[v] = solver.modelValue(v);
     }
+    if (r == Result::Unsat) slot.failed = solver.failedAssumptions();
+    if (r != Result::Unknown && opts.exportLearnts)
+      slot.retained = solver.retainedLearnts();
     slot.result = r;
     if (r != Result::Unknown) {
       int expected = -1;
@@ -109,7 +147,19 @@ Result solvePortfolio(const prop::Cnf& cnf, const PortfolioOptions& opts,
           portfolioInstanceOptions(opts, static_cast<unsigned>(w)).seed;
       report->winnerStats = ws.stats;
       report->model = std::move(ws.model);
-      report->proof = std::move(ws.proof);
+      report->failedAssumptions = std::move(ws.failed);
+      report->retainedLearnts = std::move(ws.retained);
+      if (ws.result == Result::Sat && opts.inprocess.enabled)
+        simplified.recon.extend(report->model);
+      if (opts.wantProof && opts.inprocess.enabled) {
+        // The combined proof (inprocessing derivations, then the winner's
+        // learnt clauses) certifies against the ORIGINAL formula.
+        report->proof = std::move(inprocessProof);
+        for (auto& step : ws.proof.steps)
+          report->proof.steps.push_back(std::move(step));
+      } else {
+        report->proof = std::move(ws.proof);
+      }
     }
     report->seconds = timer.seconds();
   }

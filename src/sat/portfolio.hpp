@@ -24,6 +24,7 @@
 
 #include "prop/cnf.hpp"
 #include "sat/drat.hpp"
+#include "sat/simplify.hpp"
 #include "sat/solver.hpp"
 
 namespace velev::sat {
@@ -39,6 +40,29 @@ struct PortfolioOptions {
   /// the race) and polls it between propagation rounds; exhaustion stops
   /// the whole race with Result::Unknown. Must outlive the call.
   BudgetGovernor* budget = nullptr;
+  /// Assumption literals (DIMACS, in `cnf`'s variable space): the race
+  /// decides "cnf ∧ assumptions". On an assumption-caused Unsat the
+  /// winner's failed-assumption clause lands in the report; with wantProof
+  /// the proof certifies via checkRupUnderAssumptions().
+  std::vector<prop::CnfLit> assumptions;
+  /// Inprocessing front end, run ONCE before the race; all K instances
+  /// share the simplified CNF (and the race shares one reconstruction
+  /// stack). Disabled by default so a 1-instance portfolio stays
+  /// bit-for-bit the plain sequential solver.
+  InprocessOptions inprocess = [] {
+    InprocessOptions o;
+    o.enabled = false;
+    return o;
+  }();
+  /// Warm-start clauses: a retained-learnt snapshot exported by a previous
+  /// race on the SAME formula (Solver::retainedLearnts() semantics — every
+  /// clause must be implied by `cnf`). Loaded into every instance before
+  /// its problem clauses. Incompatible with wantProof: learnt clauses are
+  /// not single-step RUP against the bare formula.
+  std::vector<prop::Clause> warmStart;
+  /// Export the winner's retained learnt clauses into the report (for the
+  /// next race's warmStart).
+  bool exportLearnts = false;
 };
 
 struct PortfolioReport {
@@ -51,6 +75,9 @@ struct PortfolioReport {
   std::vector<bool> model;       // DIMACS-indexed (entry 0 unused) when Sat
   Proof proof;                   // winner's DRAT proof (wantProof && Unsat)
   double seconds = 0;            // wall time of the whole race
+  prop::Clause failedAssumptions;    // winner's, after an assumption Unsat
+  InprocessStats inprocessStats;     // of the shared front-end run
+  std::vector<prop::Clause> retainedLearnts;  // winner's (exportLearnts)
 };
 
 /// Solver options of portfolio instance `i` (exposed for the determinism

@@ -41,6 +41,7 @@ void Solver::ensureVars(std::uint32_t numVars) {
     polarity_.push_back(opts_.randomInitPhase ? (rng_.coin() ? 1 : 0) : 1);
     level_.push_back(0);
     reason_.push_back(kCRefUndef);
+    frozen_.push_back(0);
     activity_.push_back(0.0);
     heapPos_.push_back(-1);
     seen_.push_back(0);
@@ -94,7 +95,9 @@ prop::Clause Solver::toDimacs(std::span<const Lit> lits) const {
 
 bool Solver::addClause(std::span<const prop::CnfLit> dimacs) {
   if (!okay_) return false;
-  VELEV_CHECK(decisionLevel() == 0);
+  // Incremental use: a previous solve() may have left a partial (or full)
+  // assignment behind; clauses are always added at level 0.
+  backtrack(0);
   // Normalize: sort, drop duplicates and false literals, detect tautology.
   std::vector<Lit> lits;
   lits.reserve(dimacs.size());
@@ -392,6 +395,40 @@ void Solver::reduceDb() {
   learntRefs_ = std::move(kept);
 }
 
+void Solver::purgeSatisfiedAtLevelZero() {
+  if (!okay_) return;
+  backtrack(0);
+  // Some removed clauses may be the reasons of level-0 assignments.
+  // Conflict analysis never dereferences a level-0 reason (analyze and
+  // litRedundant both skip level-0 literals), but clear them anyway so no
+  // dangling reference survives.
+  for (const Lit l : trail_) reason_[varOf(l)] = kCRefUndef;
+  const auto satisfied = [&](CRef c) {
+    const Lit* ls = clauseLits(c);
+    const std::uint32_t n = clauseSize(c);
+    for (std::uint32_t i = 0; i < n; ++i)
+      if (valueLit(ls[i]) == LBool::True) return true;
+    return false;
+  };
+  const auto sweep = [&](std::vector<CRef>& refs) {
+    std::vector<CRef> kept;
+    kept.reserve(refs.size());
+    for (const CRef c : refs) {
+      if (satisfied(c)) {
+        if (proof_)
+          proof_->del(toDimacs({clauseLits(c), clauseSize(c)}));
+        detachClause(c);
+        ++stats_.removedClauses;
+      } else {
+        kept.push_back(c);
+      }
+    }
+    refs = std::move(kept);
+  };
+  sweep(problemRefs_);
+  sweep(learntRefs_);
+}
+
 void Solver::setBudget(BudgetGovernor* governor) {
   budget_ = governor;
   budgetSource_ = governor != nullptr ? governor->registerSource() : -1;
@@ -402,7 +439,17 @@ bool Solver::pollBudget() noexcept {
 }
 
 Result Solver::solve(std::int64_t conflictBudget) {
+  return solve(std::span<const prop::CnfLit>(), conflictBudget);
+}
+
+Result Solver::solve(std::span<const prop::CnfLit> assumptions,
+                     std::int64_t conflictBudget) {
   if (!okay_) return Result::Unsat;
+  backtrack(0);  // start of an incremental call: drop the previous model
+  failed_.clear();
+  assumptions_.clear();
+  assumptions_.reserve(assumptions.size());
+  for (prop::CnfLit dl : assumptions) assumptions_.push_back(fromDimacs(dl));
   std::int64_t restartNum = 0;
   std::int64_t conflictsLeftInRestart = luby(restartNum) * opts_.lubyUnit;
   std::vector<Lit> learnt;
@@ -413,7 +460,10 @@ Result Solver::solve(std::int64_t conflictBudget) {
     if (conflict != kCRefUndef) {
       ++stats_.conflicts;
       if (decisionLevel() == 0) {
+        // A level-0 conflict refutes the clause database itself, not the
+        // assumptions: the solver is permanently Unsat.
         if (proof_) proof_->add({});
+        okay_ = false;
         return Result::Unsat;
       }
       std::uint32_t btLevel, lbd;
@@ -441,15 +491,37 @@ Result Solver::solve(std::int64_t conflictBudget) {
       }
       continue;
     }
-    if (conflictsLeftInRestart <= 0 && decisionLevel() > 0) {
+    if (conflictsLeftInRestart <= 0 &&
+        decisionLevel() > assumptions_.size()) {
       ++stats_.restarts;
-      backtrack(0);
+      backtrack(0);  // the loop below re-establishes the assumptions
       ++restartNum;
       conflictsLeftInRestart = luby(restartNum) * opts_.lubyUnit;
       continue;
     }
-    const Lit next = pickBranchLit();
-    if (next == kLitUndef) return Result::Sat;  // complete assignment
+    // Establish the next pending assumption (one pseudo-decision level per
+    // assumption, dummy level if it is already implied), then fall back to
+    // the VSIDS decision heuristic.
+    Lit next = kLitUndef;
+    while (decisionLevel() < assumptions_.size()) {
+      const Lit p = assumptions_[decisionLevel()];
+      const LBool v = valueLit(p);
+      if (v == LBool::True) {
+        trailLim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+      } else if (v == LBool::False) {
+        // The database (plus earlier assumptions) refutes this assumption.
+        analyzeFinal(negLit(p));
+        if (proof_) proof_->add(failed_);
+        return Result::Unsat;  // okay_ stays true: only assumptions failed
+      } else {
+        next = p;
+        break;
+      }
+    }
+    if (next == kLitUndef) {
+      next = pickBranchLit();
+      if (next == kLitUndef) return Result::Sat;  // complete assignment
+    }
     ++stats_.decisions;
     trailLim_.push_back(static_cast<std::uint32_t>(trail_.size()));
     const bool ok = enqueue(next, kCRefUndef);
@@ -457,9 +529,66 @@ Result Solver::solve(std::int64_t conflictBudget) {
   }
 }
 
+void Solver::analyzeFinal(Lit p) {
+  // `p` is true on the trail and its negation is the assumption that just
+  // failed: collect the subset of assumptions whose conjunction the clause
+  // database refutes, as a clause of negated assumption literals. The
+  // clause is derived by resolving the reasons along the trail, so it is
+  // RUP with respect to the database plus the assumption units.
+  const auto dimacsLit = [this](Lit l) {
+    const prop::CnfLit v = static_cast<prop::CnfLit>(varOf(l)) + 1;
+    return signOf(l) ? -v : v;
+  };
+  failed_.clear();
+  failed_.push_back(dimacsLit(p));
+  if (decisionLevel() == 0) return;
+  seen_[varOf(p)] = 1;
+  for (std::size_t i = trail_.size(); i > trailLim_[0]; --i) {
+    const Var x = varOf(trail_[i - 1]);
+    if (!seen_[x]) continue;
+    if (reason_[x] == kCRefUndef) {
+      VELEV_CHECK(levelOf(x) > 0);
+      failed_.push_back(dimacsLit(negLit(trail_[i - 1])));
+    } else {
+      const Lit* ls = clauseLits(reason_[x]);
+      const std::uint32_t size = clauseSize(reason_[x]);
+      for (std::uint32_t k = 1; k < size; ++k)
+        if (levelOf(varOf(ls[k])) > 0) seen_[varOf(ls[k])] = 1;
+    }
+    seen_[x] = 0;
+  }
+  seen_[varOf(p)] = 0;
+}
+
 bool Solver::modelValue(std::uint32_t dimacsVar) const {
   VELEV_CHECK(dimacsVar >= 1 && dimacsVar <= nVars_);
   return assigns_[dimacsVar - 1] == LBool::True;
+}
+
+void Solver::freeze(std::uint32_t dimacsVar) {
+  VELEV_CHECK(dimacsVar >= 1 && dimacsVar <= nVars_);
+  frozen_[dimacsVar - 1] = 1;
+}
+
+bool Solver::isFrozen(std::uint32_t dimacsVar) const {
+  VELEV_CHECK(dimacsVar >= 1 && dimacsVar <= nVars_);
+  return frozen_[dimacsVar - 1] != 0;
+}
+
+std::vector<std::uint32_t> Solver::frozenVars() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t v = 0; v < nVars_; ++v)
+    if (frozen_[v] != 0) out.push_back(v + 1);
+  return out;
+}
+
+std::vector<prop::Clause> Solver::retainedLearnts(std::uint32_t maxLbd) const {
+  std::vector<prop::Clause> out;
+  for (const CRef c : learntRefs_) {
+    if (arena_[c + 1] > maxLbd) continue;
+    out.push_back(toDimacs({clauseLits(c), clauseSize(c)}));
+  }
+  return out;
 }
 
 // ---- indexed binary min-heap on -activity (max-activity at root) -----------

@@ -63,14 +63,61 @@ class Solver {
   std::uint32_t numVars() const { return static_cast<std::uint32_t>(nVars_); }
 
   /// Add a clause of DIMACS literals (±1-based). Returns false if the
-  /// formula is already unsatisfiable at level 0.
+  /// formula is already unsatisfiable at level 0. May be called between
+  /// solve() calls: any leftover assignment from the previous call is
+  /// undone first (the clause database, variable activities and saved
+  /// phases are retained — that is the point of the incremental interface).
   bool addClause(std::span<const prop::CnfLit> lits);
 
   /// Solve; `conflictBudget < 0` means no limit.
   Result solve(std::int64_t conflictBudget = -1);
 
+  /// Incremental solve under `assumptions` (DIMACS literals), MiniSat
+  /// style: the assumptions are enqueued as pseudo-decisions before any
+  /// real decision, so every learnt clause is implied by the clause
+  /// database alone and retention across calls with different assumptions
+  /// is sound. An Unsat answer caused by the assumptions does NOT poison
+  /// the solver (okay() stays true); failedAssumptions() then holds a
+  /// clause over negated assumptions that the database refutes — with a
+  /// proof attached, that clause is also emitted as the final proof step,
+  /// checkable via checkRupUnderAssumptions().
+  Result solve(std::span<const prop::CnfLit> assumptions,
+               std::int64_t conflictBudget);
+
+  /// After an assumption-caused Unsat: the refuted subset, as a clause of
+  /// negated assumption literals (DIMACS). Empty after a genuine Unsat.
+  const prop::Clause& failedAssumptions() const { return failed_; }
+
+  /// False once the clause database itself (no assumptions) is refuted at
+  /// level 0; every later solve() returns Unsat immediately.
+  bool okay() const { return okay_; }
+
   /// After Result::Sat: value of a DIMACS variable (1-based).
   bool modelValue(std::uint32_t dimacsVar) const;
+
+  /// Frozen-variable bookkeeping for the inprocessing passes: a frozen
+  /// variable has external meaning (assumption literal, activation
+  /// selector, a variable the caller will read from the model of a later
+  /// call) and must never be eliminated or substituted away. The solver
+  /// itself only records the set; sat::inprocess() consumes it.
+  void freeze(std::uint32_t dimacsVar);
+  bool isFrozen(std::uint32_t dimacsVar) const;
+  std::vector<std::uint32_t> frozenVars() const;
+
+  /// Snapshot of the retained learnt clauses with LBD <= maxLbd, in DIMACS
+  /// form. Every returned clause is implied by the problem clauses added so
+  /// far (CDCL learnt clauses are consequences of the database), so the
+  /// snapshot can warm-start another solver on the same formula.
+  std::vector<prop::Clause> retainedLearnts(std::uint32_t maxLbd = 6) const;
+  std::size_t numLearnts() const { return learntRefs_.size(); }
+  std::size_t numProblemClauses() const { return problemRefs_.size(); }
+
+  /// Remove every clause satisfied by the level-0 assignment from the
+  /// database and the watch lists — how an incremental session reclaims a
+  /// retired call's clauses (the permanent ¬s_i unit satisfies them). The
+  /// arena is not compacted; what matters is that propagation stops
+  /// visiting the dead clauses. Emits proof deletions for the removals.
+  void purgeSatisfiedAtLevelZero();
 
   /// Attach a DRAT proof log (must outlive the solver; set before adding
   /// clauses). On an Unsat result the proof ends with the empty clause and
@@ -159,6 +206,7 @@ class Solver {
   CRef propagate();
   void analyze(CRef conflict, std::vector<Lit>& outLearnt,
                std::uint32_t& outBtLevel, std::uint32_t& outLbd);
+  void analyzeFinal(Lit p);  // fills failed_; p is on the trail (true)
   bool litRedundant(Lit l, std::uint32_t abstractLevels);
   void backtrack(std::uint32_t level);
   Lit pickBranchLit();
@@ -202,6 +250,10 @@ class Solver {
   std::vector<char> seen_;  // scratch for analyze()
   std::vector<Lit> analyzeToClear_;
   std::vector<Lit> analyzeStack_;
+
+  std::vector<Lit> assumptions_;  // of the solve() call in flight
+  prop::Clause failed_;           // last failed-assumption clause (DIMACS)
+  std::vector<char> frozen_;      // per-variable freeze marks
 
   bool okay_ = true;
   std::int64_t conflictsUntilReduce_ = 0;

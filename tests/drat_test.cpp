@@ -10,6 +10,8 @@
 #include "evc/translate.hpp"
 #include "models/spec.hpp"
 #include "sat/drat.hpp"
+#include "sat/portfolio.hpp"
+#include "sat/simplify.hpp"
 #include "sat/solver.hpp"
 #include "support/rng.hpp"
 
@@ -156,6 +158,189 @@ TEST(Drat, DratTextFormat) {
   std::ostringstream os;
   writeDrat(proof, os);
   EXPECT_EQ(os.str(), "1 -2 0\nd 3 0\n0\n");
+}
+
+// ---- inprocessing proofs ----------------------------------------------------
+
+Cnf randomMixCnf(Rng& rng) {
+  Cnf cnf;
+  cnf.numVars = 5 + rng.below(6);
+  const unsigned m = 18 + rng.below(30);
+  for (unsigned i = 0; i < m; ++i) {
+    Clause c;
+    const unsigned len = 1 + rng.below(3);
+    for (unsigned j = 0; j < len; ++j) {
+      const int v = 1 + static_cast<int>(rng.below(cnf.numVars));
+      c.push_back(rng.coin() ? v : -v);
+    }
+    cnf.addClause(c);
+  }
+  // Binary cycles feed the substitution pass; chained implications feed
+  // probing and vivification — the proof must cover every pass's steps.
+  if (rng.coin()) {
+    const int a = 1 + static_cast<int>(rng.below(cnf.numVars - 2));
+    cnf.addClause({-a, a + 1});
+    cnf.addClause({-(a + 1), a + 2});
+    cnf.addClause({-(a + 2), a});
+  }
+  return cnf;
+}
+
+TEST(Drat, InprocessedProofsCertifyAgainstOriginalFormula) {
+  // The combined proof (inprocessing derivations — elimination resolvents,
+  // substituted clauses, strengthenings — then the solver's learnt
+  // clauses) must RUP-check against the ORIGINAL formula.
+  Rng rng(60601);
+  unsigned certified = 0;
+  for (int iter = 0; iter < 150; ++iter) {
+    const Cnf cnf = randomMixCnf(rng);
+    Proof proof;
+    if (solveCnfInprocessed(cnf, {}, nullptr, nullptr, -1, &proof) !=
+        Result::Unsat)
+      continue;
+    EXPECT_TRUE(checkRup(cnf, proof)) << "iter " << iter;
+    ++certified;
+  }
+  EXPECT_GT(certified, 20u);
+}
+
+TEST(Drat, ProofWithEliminationAndSubstitutionDerivationsChecks) {
+  // PHP(4,3) — UNSAT but not refutable by unit propagation alone — with
+  // shadow variables equivalent to the first three pigeons (forces the
+  // substitution pass) and an auxiliary variable occurring in one clause
+  // only (forces bounded variable elimination). The combined proof must
+  // contain both kinds of derivations and still check against the
+  // ORIGINAL formula.
+  Cnf cnf;
+  const unsigned holes = 3, pigeons = 4;
+  auto var = [&](unsigned p, unsigned h) {
+    return static_cast<prop::CnfLit>(p * holes + h + 1);
+  };
+  for (unsigned p = 0; p < pigeons; ++p) {
+    Clause c;
+    for (unsigned h = 0; h < holes; ++h) c.push_back(var(p, h));
+    cnf.addClause(c);
+  }
+  for (unsigned h = 0; h < holes; ++h)
+    for (unsigned p1 = 0; p1 < pigeons; ++p1)
+      for (unsigned p2 = p1 + 1; p2 < pigeons; ++p2)
+        cnf.addClause({-var(p1, h), -var(p2, h)});
+  cnf.numVars = pigeons * holes;
+  for (int i = 1; i <= 3; ++i) {  // shadows 13..15 ≡ vars 1..3
+    const int shadow = static_cast<int>(cnf.numVars) + i;
+    cnf.addClause({-i, shadow});
+    cnf.addClause({i, -shadow});
+  }
+  cnf.numVars += 3;
+  cnf.addClause({static_cast<int>(cnf.numVars) + 1, 1, 2});  // BVE target
+  cnf.numVars += 1;
+
+  Proof proof;
+  InprocessStats st;
+  ASSERT_EQ(solveCnfInprocessed(cnf, {}, nullptr, nullptr, -1, &proof,
+                                nullptr, &st),
+            Result::Unsat);
+  EXPECT_GT(st.varsSubstituted, 0u);
+  EXPECT_GT(st.varsEliminated, 0u);
+  EXPECT_TRUE(checkRup(cnf, proof));
+}
+
+TEST(Drat, InprocessOnlyRefutationChecks) {
+  // A formula the pipeline refutes outright (no CDCL conflict needed):
+  // the inprocessing proof alone must end with {} and check.
+  Cnf cnf;
+  cnf.numVars = 4;
+  cnf.addClause({1});
+  for (int v = 1; v < 4; ++v) cnf.addClause({-v, v + 1});
+  cnf.addClause({-4});
+  Proof proof;
+  const SimplifyResult sr = inprocess(cnf, {}, &proof);
+  ASSERT_TRUE(sr.provedUnsat);
+  EXPECT_TRUE(proof.endsWithEmptyClause());
+  EXPECT_TRUE(checkRup(cnf, proof));
+}
+
+// ---- assumption-conditional proofs ------------------------------------------
+
+TEST(Drat, AssumptionUnsatProofChecksUnderAssumptions) {
+  // SAT as such, UNSAT under assumptions: the solver's proof ends with the
+  // failed-assumption clause, which checkRupUnderAssumptions completes.
+  Cnf cnf;
+  cnf.numVars = 4;
+  cnf.addClause({-1, 2});
+  cnf.addClause({-2, 3});
+  cnf.addClause({-3, -4});
+  ASSERT_EQ(solveCnf(cnf), Result::Sat);
+
+  Solver s;
+  Proof proof;
+  s.setProof(&proof);
+  s.ensureVars(cnf.numVars);
+  for (const auto& c : cnf.clauses) ASSERT_TRUE(s.addClause(c));
+  const prop::CnfLit assume[] = {1, 4};
+  ASSERT_EQ(s.solve(assume, -1), Result::Unsat);
+  EXPECT_FALSE(s.failedAssumptions().empty());
+  EXPECT_TRUE(checkRupUnderAssumptions(cnf, assume, proof));
+  // Not a proof of unconditional unsatisfiability.
+  EXPECT_FALSE(checkRup(cnf, proof));
+  // The session is not poisoned: without the assumptions, still SAT.
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Drat, PortfolioWinnerProofChecksUnderAssumptions) {
+  // The portfolio's combined proof (shared inprocessing front end with
+  // the assumption variables frozen, then the winner's clauses) must
+  // certify "cnf ∧ assumptions is UNSAT" against the ORIGINAL formula.
+  Rng rng(777);
+  unsigned certified = 0;
+  for (int iter = 0; iter < 80; ++iter) {
+    Cnf cnf;
+    cnf.numVars = 6 + rng.below(4);
+    const unsigned m = 14 + rng.below(20);
+    for (unsigned i = 0; i < m; ++i) {
+      Clause c;
+      const unsigned len = 2 + rng.below(2);
+      for (unsigned j = 0; j < len; ++j) {
+        const int v = 1 + static_cast<int>(rng.below(cnf.numVars));
+        c.push_back(rng.coin() ? v : -v);
+      }
+      cnf.addClause(c);
+    }
+    const prop::CnfLit assume[] = {
+        rng.coin() ? 1 : -1,
+        static_cast<prop::CnfLit>(rng.coin() ? 2 : -2)};
+    PortfolioOptions popts;
+    popts.instances = 2;
+    popts.wantProof = true;
+    popts.assumptions.assign(std::begin(assume), std::end(assume));
+    PortfolioReport rep;
+    if (solvePortfolio(cnf, popts, &rep) != Result::Unsat) continue;
+    EXPECT_TRUE(checkRupUnderAssumptions(cnf, assume, rep.proof))
+        << "iter " << iter;
+    ++certified;
+  }
+  EXPECT_GT(certified, 10u);
+}
+
+TEST(Drat, InprocessedProcessorProofIsCertified) {
+  // End-to-end with the front end enabled: the PE-only correctness CNF of
+  // a correct processor, refuted through inprocess + CDCL, certifies
+  // against the untouched translation output.
+  eufm::Context cx;
+  const models::Isa isa = models::Isa::declare(cx);
+  auto impl = models::buildOoO(cx, isa, {2, 1});
+  auto spec = models::buildSpec(cx, isa);
+  const core::Diagram d = core::buildDiagram(cx, *impl, *spec);
+  evc::TranslateOptions topts;
+  topts.conservativeMemory = false;
+  const evc::Translation tr = evc::translate(cx, d.correctness, topts);
+  Proof proof;
+  InprocessStats st;
+  ASSERT_EQ(solveCnfInprocessed(tr.cnf, {}, nullptr, nullptr, -1, &proof,
+                                nullptr, &st),
+            Result::Unsat);
+  EXPECT_GT(st.clausesBefore, st.clausesAfter);  // the front end did work
+  EXPECT_TRUE(checkRup(tr.cnf, proof));
 }
 
 TEST(Drat, ProcessorVerificationIsCertified) {

@@ -88,6 +88,52 @@ TEST(Grid, CancelledBeforeRunSkipsEveryCell) {
   }
 }
 
+TEST(Grid, IncrementalSessionVerdictsIdenticalToFreshRuns) {
+  // One shared incremental SAT session across the cells (sequential by
+  // construction) must judge every cell exactly like fresh per-cell
+  // solvers — same verdicts, same translated formulas — while actually
+  // reusing the session (inprocessing stats recorded per cell).
+  const auto cells = makeGrid(std::vector<unsigned>{2, 3, 4},
+                              std::vector<unsigned>{1, 2});
+
+  GridOptions fresh;
+  const auto baseline = runGrid(cells, fresh);
+
+  GridOptions inc;
+  inc.incremental = true;
+  const auto shared = runGrid(cells, inc);
+
+  ASSERT_EQ(shared.size(), baseline.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(shared[i].cell.robSize, cells[i].robSize);
+    EXPECT_EQ(shared[i].report.verdict(), baseline[i].report.verdict());
+    EXPECT_EQ(shared[i].report.verdict(), Verdict::Correct);
+    EXPECT_EQ(shared[i].report.evcStats.cnfVars,
+              baseline[i].report.evcStats.cnfVars);
+    EXPECT_EQ(shared[i].report.evcStats.cnfClauses,
+              baseline[i].report.evcStats.cnfClauses);
+    EXPECT_TRUE(shared[i].report.inprocessed);
+    EXPECT_GT(shared[i].report.inprocessStats.clausesBefore, 0u);
+  }
+}
+
+TEST(Grid, IncrementalSessionCatchesInjectedBug) {
+  // A buggy cell in the middle of a shared-session sweep must still be
+  // flagged, and the later correct cell must not be contaminated by it.
+  std::vector<GridCell> cells = makeGrid(std::vector<unsigned>{4},
+                                         std::vector<unsigned>{2});
+  cells.push_back(cells[0]);
+  cells.push_back(cells[0]);
+  cells[1].bug.kind = models::BugKind::ForwardingWrongOperand;
+  cells[1].bug.index = 2;
+  GridOptions opts;
+  opts.incremental = true;
+  const auto results = runGrid(cells, opts);
+  EXPECT_EQ(results[0].report.verdict(), Verdict::Correct);
+  EXPECT_EQ(results[1].report.verdict(), Verdict::RewriteMismatch);
+  EXPECT_EQ(results[2].report.verdict(), Verdict::Correct);
+}
+
 TEST(Grid, EmptyGridIsFine) {
   GridOptions opts;
   opts.jobs = 4;

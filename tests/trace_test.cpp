@@ -329,7 +329,11 @@ TEST(Trace, VerifyPublishesPaperCounters) {
   EXPECT_GT(c.counter("rewrite.updates_removed"), 0u);
   EXPECT_GT(c.counter("evc.p_equations"), 0u);
   EXPECT_GT(c.counter("cnf.vars"), 0u);
-  EXPECT_GT(c.counter("sat.propagations"), 0u);
+  // The inprocessing front end publishes its own counter block; on a cell
+  // this small it refutes the formula outright, so the CDCL counters may
+  // legitimately be zero.
+  EXPECT_GT(c.counter("sat.inprocess.clauses_before"), 0u);
+  EXPECT_GT(c.counter("sat.inprocess.clauses_removed"), 0u);
   // The rewriting strategy's headline: no e_ij variables remain.
   EXPECT_EQ(c.counter("evc.eij_vars"), 0u);
 

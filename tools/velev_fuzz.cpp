@@ -30,6 +30,8 @@
 //   --pe-mem MB       logical-arena budget of the PE-only oracle in MiB
 //                     (default 512; deterministic)
 //   --no-pe           disable the PE-only oracle entirely
+//   --no-inprocess    solve the PE oracle's CNF without the inprocessing
+//                     front end (the pre-simplification baseline)
 //   --no-shrink       keep failing cases at their generated size
 //   --total-timeout S soft wall-clock stop for the whole run, checked
 //                     between cases so it never flips a verdict (0 = off)
@@ -146,6 +148,7 @@ int main(int argc, char** argv) {
       fopts.oracle.peBudget.memoryBytes =
           static_cast<std::size_t>(mb) * 1024u * 1024u;
     } else if (a == "--no-pe") fopts.oracle.runPe = false;
+    else if (a == "--no-inprocess") fopts.oracle.inprocess.enabled = false;
     else if (a == "--no-shrink") fopts.shrink = false;
     else if (a == "--total-timeout") {
       fopts.totalWallSeconds = std::atof(next());

@@ -38,6 +38,15 @@
 //                     retry-with-rewriting) — retry a cell whose PE-only
 //                     attempt exhausted its budget with the rewriting
 //                     strategy (the paper's headline comparison)
+//   --no-inprocess    disable the CNF inprocessing front end of the SAT
+//                     stage (variable elimination, subsumption,
+//                     vivification, probing, equivalent-literal
+//                     substitution) — the pre-simplification baseline, used
+//                     by the benches' before/after comparison
+//   --incremental     grid mode only: solve the cells through one shared
+//                     incremental SAT session (activation selectors;
+//                     VSIDS activity, phases and learnt clauses carry
+//                     across cells). Forces sequential cell execution
 //   --no-coi          disable the cone-of-influence simulator optimization
 //   --dump-cnf FILE   write the correctness CNF in DIMACS format
 //   --proof FILE      log a DRAT proof and self-check it on UNSAT
@@ -251,6 +260,7 @@ int runGridMode(const std::vector<core::GridCell>& cells,
 int main(int argc, char** argv) {
   unsigned size = 8, width = 2, jobs = 1;
   bool peOnly = false, quiet = false, coi = true;
+  bool noInprocess = false, incremental = false;
   core::Engine engine = core::Engine::Sat;
   ResourceBudget budget;
   core::FallbackPolicy fallback = core::FallbackPolicy::None;
@@ -304,7 +314,9 @@ int main(int argc, char** argv) {
         fallback = core::FallbackPolicy::RetryWithRewriting;
       else if (s == "none") fallback = core::FallbackPolicy::None;
       else usage(("unknown fallback policy: " + s).c_str());
-    } else if (a == "--no-coi") coi = false;
+    } else if (a == "--no-inprocess") noInprocess = true;
+    else if (a == "--incremental") incremental = true;
+    else if (a == "--no-coi") coi = false;
     else if (a == "--dump-cnf") dumpCnf = next();
     else if (a == "--proof") proofPath = next();
     else if (a == "--json") jsonPath = next();
@@ -317,6 +329,9 @@ int main(int argc, char** argv) {
   if (proofPath && engine != core::Engine::Sat)
     usage("--proof requires --engine sat (DRAT proofs come from the CDCL "
           "solver)");
+  if (incremental && !gridSpec)
+    usage("--incremental applies to grid mode only (a single run has no "
+          "cells to share the session across)");
 
   try {
   if (gridSpec) {
@@ -330,6 +345,8 @@ int main(int argc, char** argv) {
     gopts.verify.engine = engine;
     gopts.verify.budget = budget;
     gopts.verify.sim.coneOfInfluence = coi;
+    gopts.verify.inprocess.enabled = !noInprocess;
+    gopts.incremental = incremental;
     gopts.fallback = fallback;
     if (traceDir) gopts.traceDir = traceDir;
     if (stats)
@@ -368,6 +385,7 @@ int main(int argc, char** argv) {
   vopts.engine = engine;
   vopts.budget = budget;
   vopts.sim.coneOfInfluence = coi;
+  vopts.inprocess.enabled = !noInprocess;
 
   // Collected for --json (single-cell report reuses the grid schema).
   Timer total;
@@ -528,6 +546,7 @@ int main(int argc, char** argv) {
     popts.conflictBudget = budget.satConflicts;
     popts.wantProof = proofPath != nullptr;
     popts.budget = &gov;
+    popts.inprocess = vopts.inprocess;
     t.reset();
     const sat::Result r = [&] {
       TRACE_SPAN("verify.sat");
@@ -535,6 +554,8 @@ int main(int argc, char** argv) {
     }();
     const double satSec = t.seconds();
     cellOut.report.satStats = prep.winnerStats;
+    cellOut.report.inprocessed = popts.inprocess.enabled;
+    cellOut.report.inprocessStats = prep.inprocessStats;
     cellOut.report.outcome.satResult = r;
     cellOut.report.outcome.seconds.sat = satSec;
     if (!quiet && jobs > 1)
