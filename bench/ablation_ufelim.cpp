@@ -94,10 +94,12 @@ int main() {
   for (const Cfg c : {Cfg{16, 4}, Cfg{64, 8}, Cfg{128, 16}}) {
     for (const auto scheme :
          {evc::UfScheme::NestedIte, evc::UfScheme::Ackermann}) {
-      core::VerifyOptions opts;
-      opts.ufScheme = scheme;
-      opts.budget.satConflicts = budget;
-      const core::VerifyReport rep = core::verify({c.n, c.k}, {}, opts);
+      core::VerifyRequest req;
+      req.robSize = c.n;
+      req.issueWidth = c.k;
+      req.ufScheme = scheme;
+      req.satConflictBudget = budget;
+      const core::VerifyReport rep = core::verify(req);
       std::printf("%4u %2u | %-10s | %8u | %9zu | %10zu | %9.2f | %9s\n",
                   c.n, c.k,
                   scheme == evc::UfScheme::NestedIte ? "nested-ITE"

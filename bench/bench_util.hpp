@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/grid_runner.hpp"
+#include "core/report_json.hpp"
 #include "support/json.hpp"
 #include "support/mem.hpp"
 #include "support/timer.hpp"
@@ -38,7 +39,7 @@ inline bool noInprocess() {
 }
 
 /// REPRO_INCREMENTAL=1 shares one incremental SAT session across the grid
-/// cells (sequential execution; see core::GridOptions::incremental).
+/// cells (sequential execution; see core::GridRunOptions::incremental).
 inline bool incrementalGrid() {
   const char* v = std::getenv("REPRO_INCREMENTAL");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
@@ -81,39 +82,30 @@ inline ResourceBudget parseBudget(double timeoutSecs, double memBudgetMb,
   return b;
 }
 
+/// Stamp a parseBudget() result onto a request's budget fields.
+inline void applyBudget(core::VerifyRequest& req, const ResourceBudget& b) {
+  req.timeoutSeconds = b.wallSeconds;
+  req.memoryBudgetBytes = b.memoryBytes;
+  req.satConflictBudget = b.satConflicts;
+}
+
 // ---- machine-readable bench output ----------------------------------------
 // Every bench writes BENCH_<name>.json next to its table so the perf
 // trajectory is trackable across PRs. Schema (documented in EXPERIMENTS.md):
-//   { "bench": str, "jobs": uint, "cells": [ { "rob_size": uint,
-//     "width": uint, "label": str, "verdict": str, "reason": str,
-//     "wall_seconds": num, "sat_conflicts": uint, "peak_arena_bytes": uint,
-//     "mem_high_water_kb": uint, "fell_back": bool, "first_verdict": str,
-//     "counters": { str: uint ... } }
-//     ... ], "notes": { str: num ... }, "total_wall_seconds": num }
-// "reason"/"fell_back"/"first_verdict" are present only when meaningful;
-// "verdict" includes the budget verdicts "timeout" and "memout".
-// "counters" is the canonical paper-aligned counter block
-// (core::reportCounters — the same names the --trace manifests record; see
-// docs/TRACE_FORMAT.md), present when the cell came from a VerifyReport.
+//   { "bench": str, "jobs": uint, "cells": [ <core::ReportCell> ... ],
+//     "notes": { str: num ... }, "total_wall_seconds": num }
+// The per-cell object is the shared core::writeReportCell() schema (see
+// core/report_json.hpp) — the same record velev_verify --json and the
+// velev_serve replay bench emit: rob_size, width, label?, verdict, reason?,
+// wall_seconds, sat_conflicts, peak_arena_bytes, mem_high_water_kb,
+// fell_back?/first_verdict?, counters?, stage_seconds?. "verdict" includes
+// the budget verdicts "timeout" and "memout"; "counters" is the canonical
+// paper-aligned block (core::reportCounters — the same names the --trace
+// manifests record; see docs/TRACE_FORMAT.md).
 
-struct JsonCell {
-  unsigned robSize = 0;
-  unsigned issueWidth = 0;
-  std::string label;        // e.g. strategy or phase; may be empty
-  std::string verdict;      // core::verdictName() or bench-specific
-  std::string reason;       // budget-trip / mismatch text; may be empty
-  double wallSeconds = 0;
-  std::uint64_t satConflicts = 0;
-  std::size_t peakArenaBytes = 0;
-  std::size_t memHighWaterKb = 0;
-  bool fellBack = false;
-  std::string firstVerdict;  // pre-fallback verdict when fellBack
-  std::vector<std::pair<std::string, std::uint64_t>> counters;
-  /// Per-stage wall seconds ("sim"/"rewrite"/"translate"/"sat"/"bdd"),
-  /// written as a "stage_seconds" object when non-empty (engine_compare
-  /// records both engines' stage splits through this).
-  std::vector<std::pair<std::string, double>> stageSeconds;
-};
+/// The benches populate core::ReportCell directly; the old bench-local
+/// JsonCell spelling is kept as an alias.
+using JsonCell = core::ReportCell;
 
 class JsonReport {
  public:
@@ -123,20 +115,7 @@ class JsonReport {
   void add(JsonCell cell) { cells_.push_back(std::move(cell)); }
 
   void add(const core::GridCellResult& r, std::string label = {}) {
-    JsonCell c;
-    c.robSize = r.cell.robSize;
-    c.issueWidth = r.cell.issueWidth;
-    c.label = std::move(label);
-    c.verdict = core::verdictName(r.report.verdict());
-    c.reason = r.report.outcome.reason;
-    c.wallSeconds = r.wallSeconds;
-    c.satConflicts = r.report.satStats.conflicts;
-    c.peakArenaBytes = r.report.outcome.peakArenaBytes;
-    c.memHighWaterKb = r.memHighWaterKb;
-    c.fellBack = r.fellBack;
-    if (r.fellBack) c.firstVerdict = core::verdictName(r.firstVerdict);
-    c.counters = core::reportCounters(r.report);
-    cells_.push_back(std::move(c));
+    cells_.push_back(core::makeReportCell(r, std::move(label)));
   }
 
   /// Scalar extras (speedups, budgets, ...) under the "notes" object.
@@ -154,35 +133,7 @@ class JsonReport {
     w.kv("jobs", jobs_);
     w.key("cells");
     w.beginArray();
-    for (const JsonCell& c : cells_) {
-      w.beginObject();
-      w.kv("rob_size", c.robSize);
-      w.kv("width", c.issueWidth);
-      if (!c.label.empty()) w.kv("label", c.label);
-      w.kv("verdict", c.verdict);
-      if (!c.reason.empty()) w.kv("reason", c.reason);
-      w.kv("wall_seconds", c.wallSeconds);
-      w.kv("sat_conflicts", c.satConflicts);
-      w.kv("peak_arena_bytes", static_cast<std::uint64_t>(c.peakArenaBytes));
-      w.kv("mem_high_water_kb", static_cast<std::uint64_t>(c.memHighWaterKb));
-      if (c.fellBack) {
-        w.kv("fell_back", true);
-        w.kv("first_verdict", c.firstVerdict);
-      }
-      if (!c.counters.empty()) {
-        w.key("counters");
-        w.beginObject();
-        for (const auto& [name, value] : c.counters) w.kv(name, value);
-        w.endObject();
-      }
-      if (!c.stageSeconds.empty()) {
-        w.key("stage_seconds");
-        w.beginObject();
-        for (const auto& [name, value] : c.stageSeconds) w.kv(name, value);
-        w.endObject();
-      }
-      w.endObject();
-    }
+    for (const JsonCell& c : cells_) core::writeReportCell(w, c);
     w.endArray();
     if (!notes_.empty()) {
       w.key("notes");
@@ -215,24 +166,8 @@ inline void writeStandardBench(JsonReport& json, const models::OoOConfig& cfg,
                                std::string label,
                                const core::VerifyReport& rep,
                                double wallSeconds) {
-  JsonCell c;
-  c.robSize = cfg.robSize;
-  c.issueWidth = cfg.issueWidth;
-  c.label = std::move(label);
-  c.verdict = core::verdictName(rep.verdict());
-  c.reason = rep.outcome.reason;
-  c.wallSeconds = wallSeconds;
-  c.satConflicts = rep.satStats.conflicts;
-  c.peakArenaBytes = rep.outcome.peakArenaBytes;
-  c.memHighWaterKb = rssHighWaterKb();
-  c.counters = core::reportCounters(rep);
-  const core::StageSeconds& s = rep.outcome.seconds;
-  c.stageSeconds = {{"sim", s.sim},
-                    {"rewrite", s.rewrite},
-                    {"translate", s.translate},
-                    {"sat", s.sat},
-                    {"bdd", s.bdd}};
-  json.add(std::move(c));
+  json.add(core::makeReportCell(cfg, std::move(label), rep, wallSeconds,
+                                rssHighWaterKb()));
 }
 
 /// Default / full-scale ROB sizes (paper: 4..1500).

@@ -20,10 +20,11 @@ using namespace velev;
 namespace {
 
 void runCase(bench::JsonReport& json, const char* label,
-             const models::OoOConfig& cfg, const models::BugSpec& bug,
-             const core::VerifyOptions& opts) {
+             const core::VerifyRequest& base, const models::BugSpec& bug) {
+  core::VerifyRequest req = base;
+  req.bug = bug;
   Timer t;
-  const core::VerifyReport rep = core::verify(cfg, bug, opts);
+  const core::VerifyReport rep = core::verify(req);
   const double total = t.seconds();
   if (rep.verdict() == core::Verdict::RewriteMismatch) {
     std::printf("%-34s detected at slice %3u in %6.3f s  (%s)\n", label,
@@ -35,7 +36,7 @@ void runCase(bench::JsonReport& json, const char* label,
                 core::verdictName(rep.verdict()), total);
   }
 
-  bench::writeStandardBench(json, cfg, label, rep, total);
+  bench::writeStandardBench(json, req.config(), label, rep, total);
 }
 
 }  // namespace
@@ -45,29 +46,31 @@ int main() {
   std::printf(
       "Sect. 7.2 experiment: bug detection by the rewriting rules, "
       "N=128 ROB entries, width 4\n\n");
-  const models::OoOConfig cfg{128, 4};
 
   bench::JsonReport json("bug_detection");
-  core::VerifyOptions opts;
-  opts.budget = bench::parseBudget(/*timeoutSecs=*/0, /*memBudgetMb=*/0,
-                                   /*satConflicts=*/-1);
+  core::VerifyRequest base;
+  base.robSize = 128;
+  base.issueWidth = 4;
+  bench::applyBudget(base, bench::parseBudget(/*timeoutSecs=*/0,
+                                              /*memBudgetMb=*/0,
+                                              /*satConflicts=*/-1));
 
-  runCase(json, "correct design", cfg, {}, opts);
-  runCase(json, "fwd bug, slice 72 (paper's bug)", cfg,
-          {models::BugKind::ForwardingWrongOperand, 72}, opts);
+  runCase(json, "correct design", base, {});
+  runCase(json, "fwd bug, slice 72 (paper's bug)", base,
+          {models::BugKind::ForwardingWrongOperand, 72});
 
   std::printf("\nsweep over bug positions and kinds:\n");
   for (unsigned slice : {8u, 37u, 100u, 128u})
-    runCase(json, ("fwd bug, slice " + std::to_string(slice)).c_str(), cfg,
-            {models::BugKind::ForwardingWrongOperand, slice}, opts);
-  runCase(json, "stale-forward bug, slice 64", cfg,
-          {models::BugKind::ForwardingStaleResult, 64}, opts);
-  runCase(json, "ALU-opcode bug, slice 90", cfg,
-          {models::BugKind::AluWrongOpcode, 90}, opts);
-  runCase(json, "retire bug, slice 3", cfg,
-          {models::BugKind::RetireIgnoresValidResult, 3}, opts);
-  runCase(json, "completion-skip bug, slice 50", cfg,
-          {models::BugKind::CompletionSkipsWrite, 50}, opts);
+    runCase(json, ("fwd bug, slice " + std::to_string(slice)).c_str(), base,
+            {models::BugKind::ForwardingWrongOperand, slice});
+  runCase(json, "stale-forward bug, slice 64", base,
+          {models::BugKind::ForwardingStaleResult, 64});
+  runCase(json, "ALU-opcode bug, slice 90", base,
+          {models::BugKind::AluWrongOpcode, 90});
+  runCase(json, "retire bug, slice 3", base,
+          {models::BugKind::RetireIgnoresValidResult, 3});
+  runCase(json, "completion-skip bug, slice 50", base,
+          {models::BugKind::CompletionSkipsWrite, 50});
 
   std::printf(
       "\n(the Positive-Equality-only flow is not attempted at this size; "

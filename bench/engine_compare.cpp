@@ -77,19 +77,22 @@ int main() {
   unsigned disagreements = 0;
   for (const Case& c : cases) {
     const models::OoOConfig cfg{c.n, c.k};
-    core::VerifyOptions opts;
-    opts.strategy = c.peOnly ? core::Strategy::PositiveEqualityOnly
-                             : core::Strategy::RewritingPlusPositiveEquality;
-    opts.budget = budget;
+    core::VerifyRequest req;
+    req.robSize = c.n;
+    req.issueWidth = c.k;
+    req.bug = c.bug;
+    req.strategy = c.peOnly ? core::Strategy::PositiveEqualityOnly
+                            : core::Strategy::RewritingPlusPositiveEquality;
+    bench::applyBudget(req, budget);
 
-    opts.engine = core::Engine::Sat;
+    req.engine = core::Engine::Sat;
     Timer t;
-    const core::VerifyReport satRep = core::verify(cfg, c.bug, opts);
+    const core::VerifyReport satRep = core::verify(req);
     const double satWall = t.seconds();
 
-    opts.engine = core::Engine::Bdd;
+    req.engine = core::Engine::Bdd;
     t.reset();
-    const core::VerifyReport bddRep = core::verify(cfg, c.bug, opts);
+    const core::VerifyReport bddRep = core::verify(req);
     const double bddWall = t.seconds();
 
     const bool bothConclusive = conclusive(satRep.verdict()) &&

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/diagram.hpp"
+#include "core/request.hpp"
 #include "core/verifier.hpp"
 #include "evc/translate.hpp"
 #include "models/spec.hpp"
@@ -139,8 +140,11 @@ BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(7);
 
 void BM_EndToEndVerify(benchmark::State& state) {
   const unsigned n = static_cast<unsigned>(state.range(0));
+  core::VerifyRequest req;
+  req.robSize = n;
+  req.issueWidth = 4;
   for (auto _ : state) {
-    const core::VerifyReport rep = core::verify({n, 4});
+    const core::VerifyReport rep = core::verify(req);
     benchmark::DoNotOptimize(rep.outcome.verdict);
   }
 }

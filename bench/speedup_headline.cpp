@@ -30,11 +30,13 @@ namespace {
 double runStrategy(const models::OoOConfig& cfg, core::Strategy strategy,
                    std::int64_t budget, bool* completed,
                    core::VerifyReport* out = nullptr) {
-  core::VerifyOptions opts;
-  opts.strategy = strategy;
-  opts.budget.satConflicts = budget;
+  core::VerifyRequest req;
+  req.robSize = cfg.robSize;
+  req.issueWidth = cfg.issueWidth;
+  req.strategy = strategy;
+  req.satConflictBudget = budget;
   Timer t;
-  const core::VerifyReport rep = core::verify(cfg, {}, opts);
+  const core::VerifyReport rep = core::verify(req);
   *completed = rep.verdict() == core::Verdict::Correct;
   if (out) *out = rep;
   return t.seconds();
@@ -96,11 +98,12 @@ int main(int argc, char** argv) {
   std::vector<unsigned> sizes = {16, 32, 64, 128};
   std::vector<unsigned> widths = {1, 2, 4};
   if (bench::fullScale()) sizes.push_back(250);
-  const std::vector<core::GridCell> cells = core::makeGrid(sizes, widths);
+  core::VerifyRequest gridBase;
+  gridBase.strategy = core::Strategy::RewritingPlusPositiveEquality;
+  const std::vector<core::VerifyRequest> cells =
+      core::makeGridRequests(sizes, widths, gridBase);
 
-  core::GridOptions gopts;
-  gopts.verify.strategy = core::Strategy::RewritingPlusPositiveEquality;
-
+  core::GridRunOptions gopts;
   gopts.jobs = 1;
   Timer tSeq;
   const auto seq = core::runGrid(cells, gopts);

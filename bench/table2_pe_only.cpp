@@ -42,13 +42,15 @@ int main(int argc, char** argv) {
   const bool noInp = bench::noInprocess();
   bench::JsonReport json(
       noInp ? "table2_pe_only_no_inprocess" : "table2_pe_only", jobs);
-  core::GridOptions gopts;
+  core::VerifyRequest base;
+  base.strategy = core::Strategy::PositiveEqualityOnly;
+  base.inprocess = !noInp;
+  bench::applyBudget(base, budget);
+  const std::vector<core::VerifyRequest> cells =
+      core::makeGridRequests(sizes, widths, base);
+  core::GridRunOptions gopts;
   gopts.jobs = jobs;
-  gopts.verify.strategy = core::Strategy::PositiveEqualityOnly;
-  gopts.verify.budget = budget;
-  gopts.verify.inprocess.enabled = !noInp;
   gopts.incremental = bench::incrementalGrid();
-  const std::vector<core::GridCell> cells = core::makeGrid(sizes, widths);
   const std::vector<core::GridCellResult> results =
       core::runGrid(cells, gopts);
 
@@ -58,7 +60,8 @@ int main(int argc, char** argv) {
       "= memory/wall\nbudget exhausted — the paper's 'Out of Memory' "
       "entries; '>' = SAT conflict\nbudget exhausted)",
       "size\\width", widths);
-  std::size_t idx = 0;  // results follow makeGrid's (sizes × widths) order
+  std::size_t idx = 0;  // results follow makeGridRequests' (sizes × widths)
+                        // order
   for (unsigned n : sizes) {
     bench::printRowLabel(n);
     for (unsigned k : widths) {

@@ -24,15 +24,17 @@ int main(int argc, char** argv) {
   bench::JsonReport json(
       noInp ? "table4_rewrite_time_no_inprocess" : "table4_rewrite_time",
       jobs);
-  core::GridOptions gopts;
-  gopts.jobs = jobs;
-  gopts.verify.strategy = core::Strategy::RewritingPlusPositiveEquality;
-  gopts.verify.skipSat = true;  // translation timing only; Table 5 runs SAT
+  core::VerifyRequest base;
+  base.strategy = core::Strategy::RewritingPlusPositiveEquality;
+  base.skipSat = true;  // translation timing only; Table 5 runs SAT
   // skipSat still runs the inprocessing pipeline (stats only), so the
   // sat.inprocess.clauses_before/after counters record the before/after
   // CNF sizes of the rewriting+PE encoding.
-  gopts.verify.inprocess.enabled = !noInp;
-  const std::vector<core::GridCell> cells = core::makeGrid(sizes, widths);
+  base.inprocess = !noInp;
+  const std::vector<core::VerifyRequest> cells =
+      core::makeGridRequests(sizes, widths, base);
+  core::GridRunOptions gopts;
+  gopts.jobs = jobs;
   const std::vector<core::GridCellResult> results =
       core::runGrid(cells, gopts);
 

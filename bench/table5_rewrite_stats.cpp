@@ -41,13 +41,16 @@ int main(int argc, char** argv) {
     ThreadPool pool(jobs);
     for (unsigned k : widths) {
       pendingCols.push_back(pool.submit([k] {
-        core::VerifyOptions opts;
+        core::VerifyRequest req;
+        req.issueWidth = k;
         const unsigned nSmall = std::max(k, 2u);
         const unsigned nLarge = std::max(4 * k, 64u);
         Col col;
         Timer t;
-        col.rep = core::verify({nLarge, k}, {}, opts);
-        const core::VerifyReport small = core::verify({nSmall, k}, {}, opts);
+        req.robSize = nLarge;
+        col.rep = core::verify(req);
+        req.robSize = nSmall;
+        const core::VerifyReport small = core::verify(req);
         col.wallSeconds = t.seconds();
         col.sizeIndependent =
             small.evcStats.cnfVars == col.rep.evcStats.cnfVars &&

@@ -46,8 +46,11 @@ int main(int argc, char** argv) {
 
   // Strategy 1: rewriting rules — structural detection.
   {
-    core::VerifyOptions opts;
-    const core::VerifyReport rep = core::verify(cfg, bug, opts);
+    core::VerifyRequest req;
+    req.robSize = n;
+    req.issueWidth = k;
+    req.bug = bug;
+    const core::VerifyReport rep = core::verify(req);
     if (rep.verdict() == core::Verdict::RewriteMismatch) {
       std::printf("rewriting rules: non-conforming slice %u\n  reason: %s\n",
                   rep.outcome.failedSlice, rep.outcome.reason.c_str());

@@ -59,9 +59,11 @@ int main() {
   // 5. End-to-end verification, both strategies.
   for (const auto strategy : {core::Strategy::RewritingPlusPositiveEquality,
                               core::Strategy::PositiveEqualityOnly}) {
-    core::VerifyOptions opts;
-    opts.strategy = strategy;
-    const core::VerifyReport rep = core::verify(cfg, {}, opts);
+    core::VerifyRequest req;
+    req.robSize = cfg.robSize;
+    req.issueWidth = cfg.issueWidth;
+    req.strategy = strategy;
+    const core::VerifyReport rep = core::verify(req);
     std::printf(
         "%-32s verdict=%-10s e_ij=%-4u CNF: %zu vars / %zu clauses, "
         "total %.3f s\n",

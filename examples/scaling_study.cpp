@@ -26,7 +26,10 @@ int main(int argc, char** argv) {
   std::size_t cnfVars = 0, cnfClauses = 0;
   bool sizeIndependent = true;
   for (unsigned n = k; n <= maxSize; n *= 2) {
-    const core::VerifyReport rep = core::verify({n, k});
+    core::VerifyRequest req;
+    req.robSize = n;
+    req.issueWidth = k;
+    const core::VerifyReport rep = core::verify(req);
     std::printf("%8u | %8.3f | %9.3f | %10.3f | %8.3f | %9zu | %10zu | %s\n",
                 n, rep.simSeconds(), rep.rewriteSeconds(),
                 rep.translateSeconds(), rep.satSeconds(),

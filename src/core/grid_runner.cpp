@@ -13,6 +13,26 @@ namespace velev::core {
 
 namespace {
 
+/// One scheduled cell: the configuration plus its fully expanded options.
+/// Both public runGrid() overloads lower to this, so the request-based and
+/// the deprecated VerifyOptions-based paths behave identically.
+struct GridJob {
+  GridCell cell;
+  VerifyOptions vopts;
+};
+
+/// The non-deprecated equivalent of the classic verify(cfg, bug, opts):
+/// fresh context + models, then verifyWith (which arms the governor).
+VerifyReport verifyCell(const models::OoOConfig& cfg,
+                        const models::BugSpec& bug,
+                        const VerifyOptions& opts) {
+  eufm::Context cx;
+  const models::Isa isa = models::Isa::declare(cx);
+  auto impl = models::buildOoO(cx, isa, cfg, bug);
+  auto spec = models::buildSpec(cx, isa);
+  return verifyWith(cx, isa, *impl, *spec, opts);
+}
+
 /// File stem shared by the two per-cell output files.
 std::string cellFileStem(const GridCell& cell, std::size_t index) {
   return "cell_" + std::to_string(index) + "_" +
@@ -42,11 +62,11 @@ GridCellResult skippedCell(const GridCell& cell) {
   return res;
 }
 
-GridCellResult runCell(const GridCell& cell, const GridOptions& opts,
+GridCellResult runCell(const GridJob& job, const GridRunOptions& opts,
                        std::size_t index,
                        sat::IncrementalSession* session = nullptr) {
   GridCellResult res;
-  res.cell = cell;
+  res.cell = job.cell;
   Timer t;
   // One Collector per cell, mirroring the one-Context-per-cell rule: the
   // attachment is thread-local, so concurrent cells never share a sink.
@@ -54,52 +74,74 @@ GridCellResult runCell(const GridCell& cell, const GridOptions& opts,
   const bool traced = !opts.traceDir.empty();
   {
     trace::Use tracing(traced ? &collector : nullptr);
-    // verify() builds a fresh eufm::Context and arms a fresh BudgetGovernor
-    // for this cell (the one-context-per-cell ownership rule; see the
-    // header), so budgets are strictly per cell.
-    const models::OoOConfig cfg{cell.robSize, cell.issueWidth};
-    VerifyOptions vopts = opts.verify;
+    // verifyCell() builds a fresh eufm::Context and arms a fresh
+    // BudgetGovernor for this cell (the one-context-per-cell ownership
+    // rule; see the header), so budgets are strictly per cell.
+    const models::OoOConfig cfg{job.cell.robSize, job.cell.issueWidth};
+    VerifyOptions vopts = job.vopts;
     vopts.satSession = session;
-    res.report = verify(cfg, cell.bug, vopts);
+    res.report = verifyCell(cfg, job.cell.bug, vopts);
 
     if (opts.fallback == FallbackPolicy::RetryWithRewriting &&
         res.report.outcome.budgetExceeded() &&
-        opts.verify.strategy == Strategy::PositiveEqualityOnly) {
+        job.vopts.strategy == Strategy::PositiveEqualityOnly) {
       res.fellBack = true;
       res.firstVerdict = res.report.outcome.verdict;
-      VerifyOptions retry = opts.verify;
+      VerifyOptions retry = job.vopts;
       retry.strategy = Strategy::RewritingPlusPositiveEquality;
       retry.satSession = nullptr;  // different strategy, fresh solver
-      res.report = verify(cfg, cell.bug, retry);
+      res.report = verifyCell(cfg, job.cell.bug, retry);
     }
   }
 
   res.wallSeconds = t.seconds();
   res.memHighWaterKb = rssHighWaterKb();
-  if (traced) writeCellTrace(opts.traceDir, index, res, opts.verify, collector);
+  if (traced) writeCellTrace(opts.traceDir, index, res, job.vopts, collector);
   return res;
+}
+
+/// Config-block value over a possibly heterogeneous grid: the shared name
+/// when every job agrees, "mixed" otherwise.
+template <class Get>
+std::string sharedOrMixed(std::span<const GridJob> jobs, Get get) {
+  if (jobs.empty()) return "none";
+  const std::string first = get(jobs.front());
+  for (const GridJob& j : jobs.subspan(1))
+    if (get(j) != first) return "mixed";
+  return first;
 }
 
 /// The whole-grid roll-up: per-stage seconds and counters summed over the
 /// cells, verdict "correct" only if every non-skipped cell is.
-void writeGridManifest(const std::string& dir, const GridOptions& opts,
+void writeGridManifest(const std::string& dir, const GridRunOptions& opts,
+                       std::span<const GridJob> jobs,
                        std::span<const GridCellResult> results) {
   trace::ManifestData m;
   m.tool = "velev_grid";
   m.config.emplace_back("cells", std::to_string(results.size()));
   m.config.emplace_back("jobs", std::to_string(opts.jobs));
-  m.config.emplace_back("strategy", strategyName(opts.verify.strategy));
-  m.config.emplace_back("engine", engineName(opts.verify.engine));
+  m.config.emplace_back("strategy", sharedOrMixed(jobs, [](const GridJob& j) {
+                          return std::string(strategyName(j.vopts.strategy));
+                        }));
+  m.config.emplace_back("engine", sharedOrMixed(jobs, [](const GridJob& j) {
+                          return std::string(engineName(j.vopts.engine));
+                        }));
   m.config.emplace_back(
       "fallback", opts.fallback == FallbackPolicy::RetryWithRewriting
                       ? "retry-with-rewriting"
                       : "none");
   m.config.emplace_back("incremental", opts.incremental ? "true" : "false");
   m.config.emplace_back(
-      "inprocess", opts.verify.inprocess.enabled ? "true" : "false");
-  m.budgetWallSeconds = opts.verify.budget.wallSeconds;
-  m.budgetMemoryBytes = opts.verify.budget.memoryBytes;
-  m.budgetSatConflicts = opts.verify.budget.satConflicts;
+      "inprocess", sharedOrMixed(jobs, [](const GridJob& j) {
+        return std::string(j.vopts.inprocess.enabled ? "true" : "false");
+      }));
+  if (!jobs.empty()) {
+    // Budget block: the shared budget on homogeneous grids; the first
+    // job's on mixed ones (the per-cell manifests carry the exact values).
+    m.budgetWallSeconds = jobs.front().vopts.budget.wallSeconds;
+    m.budgetMemoryBytes = jobs.front().vopts.budget.memoryBytes;
+    m.budgetSatConflicts = jobs.front().vopts.budget.satConflicts;
+  }
 
   StageSeconds total;
   std::map<std::string, std::uint64_t> counters;
@@ -134,53 +176,82 @@ void writeGridManifest(const std::string& dir, const GridOptions& opts,
     trace::writeManifest(os, m, nullptr);
 }
 
-}  // namespace
-
-std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
-                                    const GridOptions& opts,
-                                    CancelToken* cancel) {
-  std::vector<GridCellResult> results(cells.size());
+std::vector<GridCellResult> runGridImpl(std::span<const GridJob> jobs,
+                                        const GridRunOptions& opts,
+                                        CancelToken* cancel) {
+  std::vector<GridCellResult> results(jobs.size());
   if (!opts.traceDir.empty())
     std::filesystem::create_directories(opts.traceDir);
 
   if (opts.jobs <= 1 || opts.incremental) {
     // One shared incremental session for the whole (sequential) grid: the
     // session is single-threaded by design, so `incremental` overrides
-    // `jobs`.
-    sat::IncrementalSession session({}, opts.verify.inprocess);
+    // `jobs`. Its inprocessing knobs come from the first job — a session
+    // simplifies one clause database, not one per cell.
+    sat::IncrementalSession session(
+        {}, jobs.empty() ? sat::InprocessOptions{}
+                         : jobs.front().vopts.inprocess);
     sat::IncrementalSession* shared = opts.incremental ? &session : nullptr;
-    for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
       if (cancel != nullptr && cancel->cancelled()) {
-        results[i] = skippedCell(cells[i]);
+        results[i] = skippedCell(jobs[i].cell);
         continue;
       }
-      results[i] = runCell(cells[i], opts, i, shared);
+      results[i] = runCell(jobs[i], opts, i, shared);
     }
     if (!opts.traceDir.empty())
-      writeGridManifest(opts.traceDir, opts, results);
+      writeGridManifest(opts.traceDir, opts, jobs, results);
     return results;
   }
 
   const unsigned workers = static_cast<unsigned>(
-      std::min<std::size_t>(opts.jobs, std::max<std::size_t>(1, cells.size())));
+      std::min<std::size_t>(opts.jobs, std::max<std::size_t>(1, jobs.size())));
   ThreadPool pool(workers);
   const CancelToken token = cancel != nullptr ? *cancel : CancelToken();
   std::vector<std::future<void>> done;
-  done.reserve(cells.size());
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    done.push_back(pool.submit(token, [&results, &cells, &opts, i] {
-      results[i] = runCell(cells[i], opts, i);
+  done.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    done.push_back(pool.submit(token, [&results, &jobs, &opts, i] {
+      results[i] = runCell(jobs[i], opts, i);
     }));
   }
-  for (std::size_t i = 0; i < cells.size(); ++i) {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
     try {
       done[i].get();
     } catch (const CancelledError&) {
-      results[i] = skippedCell(cells[i]);
+      results[i] = skippedCell(jobs[i].cell);
     }
   }
-  if (!opts.traceDir.empty()) writeGridManifest(opts.traceDir, opts, results);
+  if (!opts.traceDir.empty())
+    writeGridManifest(opts.traceDir, opts, jobs, results);
   return results;
+}
+
+}  // namespace
+
+std::vector<GridCellResult> runGrid(std::span<const VerifyRequest> requests,
+                                    const GridRunOptions& opts,
+                                    CancelToken* cancel) {
+  std::vector<GridJob> jobs;
+  jobs.reserve(requests.size());
+  for (const VerifyRequest& req : requests)
+    jobs.push_back(GridJob{GridCell{req.robSize, req.issueWidth, req.bug},
+                           req.options()});
+  return runGridImpl(jobs, opts, cancel);
+}
+
+std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
+                                    const GridOptions& opts,
+                                    CancelToken* cancel) {
+  std::vector<GridJob> jobs;
+  jobs.reserve(cells.size());
+  for (const GridCell& cell : cells) jobs.push_back(GridJob{cell, opts.verify});
+  GridRunOptions ropts;
+  ropts.jobs = opts.jobs;
+  ropts.fallback = opts.fallback;
+  ropts.traceDir = opts.traceDir;
+  ropts.incremental = opts.incremental;
+  return runGridImpl(jobs, ropts, cancel);
 }
 
 trace::ManifestData cellManifestData(const GridCellResult& res,
@@ -192,10 +263,7 @@ trace::ManifestData cellManifestData(const GridCellResult& res,
   m.config.emplace_back("issue_width", std::to_string(res.cell.issueWidth));
   m.config.emplace_back("strategy", strategyName(opts.strategy));
   m.config.emplace_back("engine", engineName(opts.engine));
-  m.config.emplace_back("uf_scheme",
-                        opts.ufScheme == evc::UfScheme::NestedIte
-                            ? "nested-ite"
-                            : "ackermann");
+  m.config.emplace_back("uf_scheme", evc::ufSchemeName(opts.ufScheme));
   if (res.cell.bug.kind != models::BugKind::None) {
     m.config.emplace_back(
         "bug_kind",
@@ -221,6 +289,12 @@ trace::ManifestData cellManifestData(const GridCellResult& res,
   return m;
 }
 
+trace::ManifestData cellManifestData(const GridCellResult& res,
+                                     const VerifyRequest& req,
+                                     std::string_view tool) {
+  return cellManifestData(res, req.options(), tool);
+}
+
 std::vector<GridCell> makeGrid(std::span<const unsigned> sizes,
                                std::span<const unsigned> widths) {
   std::vector<GridCell> cells;
@@ -229,6 +303,22 @@ std::vector<GridCell> makeGrid(std::span<const unsigned> sizes,
     for (unsigned k : widths)
       if (k >= 1 && k <= n) cells.push_back(GridCell{n, k, {}});
   return cells;
+}
+
+std::vector<VerifyRequest> makeGridRequests(std::span<const unsigned> sizes,
+                                            std::span<const unsigned> widths,
+                                            const VerifyRequest& base) {
+  std::vector<VerifyRequest> reqs;
+  reqs.reserve(sizes.size() * widths.size());
+  for (unsigned n : sizes)
+    for (unsigned k : widths)
+      if (k >= 1 && k <= n) {
+        VerifyRequest r = base;
+        r.robSize = n;
+        r.issueWidth = k;
+        reqs.push_back(r);
+      }
+  return reqs;
 }
 
 }  // namespace velev::core

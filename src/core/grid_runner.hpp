@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/request.hpp"
 #include "core/verifier.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
@@ -58,6 +59,33 @@ enum class FallbackPolicy {
   RetryWithRewriting,
 };
 
+/// Scheduling knobs of a grid run. Everything about WHAT to verify lives in
+/// the per-cell VerifyRequests (so a grid may mix strategies, engines and
+/// budgets); this struct only says HOW to run them.
+struct GridRunOptions {
+  unsigned jobs = 1;  // worker threads; 1 = run in the calling thread
+  FallbackPolicy fallback = FallbackPolicy::None;
+  /// When non-empty: each cell attaches its own trace::Collector (the
+  /// one-Collector-per-cell analogue of the one-Context-per-cell rule) and
+  /// the runner writes `cell_<index>_<N>x<K>.trace.json` plus
+  /// `cell_<index>_<N>x<K>.manifest.json` into this directory, then one
+  /// merged `manifest.json` summing stage times and counters over the grid.
+  /// The directory is created if missing.
+  std::string traceDir;
+  /// Share one incremental SAT session (sat/incremental.hpp) across the
+  /// grid: VSIDS activities, saved phases and retained learnt clauses
+  /// carry from cell to cell, which pays exactly where cells are closely
+  /// related (same strategy, adjacent N/width). Forces sequential
+  /// execution — the session is single-threaded by design, mirroring the
+  /// one-Context-per-cell rule — so `jobs` is treated as 1. A fallback
+  /// retry (different strategy => different variable skeleton) always runs
+  /// on a fresh solver.
+  bool incremental = false;
+};
+
+/// DEPRECATED companion of the GridCell-based runGrid() overload: one
+/// VerifyOptions fanned out over every cell. New code puts the per-cell
+/// options inside each VerifyRequest and passes GridRunOptions.
 struct GridOptions {
   unsigned jobs = 1;       // worker threads; 1 = run in the calling thread
   VerifyOptions verify;    // applied to every cell (budget is per cell)
@@ -80,10 +108,24 @@ struct GridOptions {
   bool incremental = false;
 };
 
-/// Verify every cell of `cells`; results come back in input order. With
-/// jobs > 1, cells run on a work-stealing pool. Cancelling `cancel` stops
-/// the cells that have not started yet (marked skipped, verdict
-/// Verdict::Skipped); running cells finish normally.
+/// Verify every request of `requests`; results come back in input order.
+/// Each request carries its own strategy/engine/budget, so heterogeneous
+/// grids (the velev_serve replay mix) run through the same scheduler as the
+/// paper's homogeneous tables. With jobs > 1, cells run on a work-stealing
+/// pool. Cancelling `cancel` stops the cells that have not started yet
+/// (marked skipped, verdict Verdict::Skipped); running cells finish
+/// normally.
+std::vector<GridCellResult> runGrid(std::span<const VerifyRequest> requests,
+                                    const GridRunOptions& opts,
+                                    CancelToken* cancel = nullptr);
+
+/// As above with one shared VerifyOptions.
+///
+/// DEPRECATED surface: put the options inside each core::VerifyRequest and
+/// call the request-based overload. This wrapper remains for one release
+/// and behaves identically (it expands to the same internal runner).
+[[deprecated("build core::VerifyRequests and call "
+             "runGrid(std::span<const VerifyRequest>, GridRunOptions)")]]
 std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
                                     const GridOptions& opts,
                                     CancelToken* cancel = nullptr);
@@ -93,12 +135,24 @@ std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
 std::vector<GridCell> makeGrid(std::span<const unsigned> sizes,
                                std::span<const unsigned> widths);
 
+/// Request-valued makeGrid(): the sizes × widths cross product stamped
+/// onto copies of `base` (which supplies strategy, engine, budget, bug and
+/// the pipeline toggles).
+std::vector<VerifyRequest> makeGridRequests(std::span<const unsigned> sizes,
+                                            std::span<const unsigned> widths,
+                                            const VerifyRequest& base = {});
+
 /// Flatten one finished cell into the manifest fields: tool name, config
 /// block (rob_size, issue_width, strategy, …), budget, verdict/reason,
 /// stage seconds and the canonical reportCounters() block. Shared by the
 /// grid runner's per-cell manifests and velev_verify's single-run one.
 trace::ManifestData cellManifestData(const GridCellResult& res,
                                      const VerifyOptions& opts,
+                                     std::string_view tool = "velev_verify");
+
+/// As above, for a request-driven run.
+trace::ManifestData cellManifestData(const GridCellResult& res,
+                                     const VerifyRequest& req,
                                      std::string_view tool = "velev_verify");
 
 }  // namespace velev::core

@@ -1,0 +1,85 @@
+#include "core/report_json.hpp"
+
+namespace velev::core {
+
+namespace {
+
+std::vector<std::pair<std::string, double>> stageSecondsOf(
+    const VerifyReport& rep) {
+  const StageSeconds& s = rep.outcome.seconds;
+  return {{"sim", s.sim},
+          {"rewrite", s.rewrite},
+          {"translate", s.translate},
+          {"sat", s.sat},
+          {"bdd", s.bdd}};
+}
+
+}  // namespace
+
+ReportCell makeReportCell(const GridCellResult& res, std::string label) {
+  ReportCell c;
+  c.robSize = res.cell.robSize;
+  c.issueWidth = res.cell.issueWidth;
+  c.label = std::move(label);
+  c.verdict = verdictName(res.report.verdict());
+  c.reason = res.report.outcome.reason;
+  c.wallSeconds = res.wallSeconds;
+  c.satConflicts = res.report.satStats.conflicts;
+  c.peakArenaBytes = res.report.outcome.peakArenaBytes;
+  c.memHighWaterKb = res.memHighWaterKb;
+  c.fellBack = res.fellBack;
+  if (res.fellBack) c.firstVerdict = verdictName(res.firstVerdict);
+  c.counters = reportCounters(res.report);
+  c.stageSeconds = stageSecondsOf(res.report);
+  return c;
+}
+
+ReportCell makeReportCell(const models::OoOConfig& cfg, std::string label,
+                          const VerifyReport& rep, double wallSeconds,
+                          std::uint64_t memHighWaterKb) {
+  ReportCell c;
+  c.robSize = cfg.robSize;
+  c.issueWidth = cfg.issueWidth;
+  c.label = std::move(label);
+  c.verdict = verdictName(rep.verdict());
+  c.reason = rep.outcome.reason;
+  c.wallSeconds = wallSeconds;
+  c.satConflicts = rep.satStats.conflicts;
+  c.peakArenaBytes = rep.outcome.peakArenaBytes;
+  c.memHighWaterKb = memHighWaterKb;
+  c.counters = reportCounters(rep);
+  c.stageSeconds = stageSecondsOf(rep);
+  return c;
+}
+
+void writeReportCell(JsonWriter& w, const ReportCell& c) {
+  w.beginObject();
+  w.kv("rob_size", c.robSize);
+  w.kv("width", c.issueWidth);
+  if (!c.label.empty()) w.kv("label", c.label);
+  w.kv("verdict", c.verdict);
+  if (!c.reason.empty()) w.kv("reason", c.reason);
+  w.kv("wall_seconds", c.wallSeconds);
+  w.kv("sat_conflicts", c.satConflicts);
+  w.kv("peak_arena_bytes", c.peakArenaBytes);
+  w.kv("mem_high_water_kb", c.memHighWaterKb);
+  if (c.fellBack) {
+    w.kv("fell_back", true);
+    w.kv("first_verdict", c.firstVerdict);
+  }
+  if (!c.counters.empty()) {
+    w.key("counters");
+    w.beginObject();
+    for (const auto& [name, value] : c.counters) w.kv(name, value);
+    w.endObject();
+  }
+  if (!c.stageSeconds.empty()) {
+    w.key("stage_seconds");
+    w.beginObject();
+    for (const auto& [name, value] : c.stageSeconds) w.kv(name, value);
+    w.endObject();
+  }
+  w.endObject();
+}
+
+}  // namespace velev::core

@@ -12,44 +12,22 @@ namespace velev::core {
 
 using eufm::Expr;
 
-const char* strategyName(Strategy s) {
-  return s == Strategy::PositiveEqualityOnly ? "pe-only" : "rw+pe";
+const char* strategyName(Strategy s) { return names::nameOf(s); }
+
+std::optional<Strategy> strategyFromName(std::string_view name) {
+  return names::fromName<Strategy>(name);
 }
 
-const char* engineName(Engine e) {
-  switch (e) {
-    case Engine::Sat: return "sat";
-    case Engine::Bdd: return "bdd";
-    case Engine::Both: return "both";
-  }
-  return "sat";
-}
+const char* engineName(Engine e) { return names::nameOf(e); }
 
 std::optional<Engine> engineFromName(std::string_view name) {
-  for (Engine e : {Engine::Sat, Engine::Bdd, Engine::Both})
-    if (name == engineName(e)) return e;
-  return std::nullopt;
+  return names::fromName<Engine>(name);
 }
 
-const char* verdictName(Verdict v) {
-  switch (v) {
-    case Verdict::Correct: return "correct";
-    case Verdict::CounterexampleFound: return "counterexample";
-    case Verdict::RewriteMismatch: return "rewrite-mismatch";
-    case Verdict::Inconclusive: return "inconclusive";
-    case Verdict::Timeout: return "timeout";
-    case Verdict::MemOut: return "memout";
-    case Verdict::Skipped: return "skipped";
-  }
-  return "unknown";
-}
+const char* verdictName(Verdict v) { return names::nameOf(v); }
 
 std::optional<Verdict> verdictFromName(std::string_view name) {
-  for (Verdict v : {Verdict::Correct, Verdict::CounterexampleFound,
-                    Verdict::RewriteMismatch, Verdict::Inconclusive,
-                    Verdict::Timeout, Verdict::MemOut, Verdict::Skipped})
-    if (name == verdictName(v)) return v;
-  return std::nullopt;
+  return names::fromName<Verdict>(name);
 }
 
 int verdictExitCode(Verdict v) {

@@ -30,6 +30,7 @@
 #include "sat/simplify.hpp"
 #include "sat/solver.hpp"
 #include "support/budget.hpp"
+#include "support/names.hpp"
 
 namespace velev::core {
 
@@ -46,6 +47,9 @@ enum class Strategy {
 /// Stable lower-case name ("pe-only" / "rw+pe"), used by the CLI flags, the
 /// bench reports and the run manifests.
 const char* strategyName(Strategy s);
+
+/// Inverse of strategyName(); unknown names yield nullopt.
+std::optional<Strategy> strategyFromName(std::string_view name);
 
 enum class Engine {
   /// CNF + CDCL SAT (the paper's Chaff flow). The default.
@@ -203,16 +207,60 @@ std::vector<std::pair<std::string, std::uint64_t>> reportCounters(
     const VerifyReport& rep);
 
 /// Verify one processor configuration (optionally with an injected bug).
+///
+/// DEPRECATED surface: the serializable core::VerifyRequest
+/// (core/request.hpp) is now the single request representation shared by
+/// the CLI, the grid runner, the benches and the velev_serve daemon —
+/// build one and call verify(const VerifyRequest&) instead. This overload
+/// remains for one release as a thin equivalent wrapper.
+[[deprecated("build a core::VerifyRequest and call verify(request)")]]
 VerifyReport verify(const models::OoOConfig& cfg,
                     const models::BugSpec& bug = {},
                     const VerifyOptions& opts = {});
 
-/// As above, over a caller-provided context and prebuilt models (lets
-/// benchmarks reuse the expensive model construction and inspect the
-/// expressions).
+/// As verify(), over a caller-provided context and prebuilt models (lets
+/// benchmarks and the fuzz oracles reuse the expensive model construction
+/// and inspect the expressions). This is the low-level expanded-options
+/// entry point — VerifyOptions can carry state a serializable request
+/// cannot (a shared sat::IncrementalSession, non-default inprocessing
+/// knobs), so it is not deprecated; request-driven callers go through
+/// verify(const VerifyRequest&) in core/request.hpp.
 VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
                         models::OoOProcessor& impl,
                         models::SpecProcessor& spec,
                         const VerifyOptions& opts = {});
 
 }  // namespace velev::core
+
+// Name-registry tables (support/names.hpp): the single source of truth
+// behind strategyName()/engineName()/verdictName() and their *FromName()
+// inverses. tests/core_test.cpp round-trips every entry.
+template <>
+struct velev::names::Registry<velev::core::Strategy> {
+  static constexpr EnumEntry<velev::core::Strategy> entries[] = {
+      {velev::core::Strategy::PositiveEqualityOnly, "pe-only"},
+      {velev::core::Strategy::RewritingPlusPositiveEquality, "rw+pe"},
+  };
+};
+
+template <>
+struct velev::names::Registry<velev::core::Engine> {
+  static constexpr EnumEntry<velev::core::Engine> entries[] = {
+      {velev::core::Engine::Sat, "sat"},
+      {velev::core::Engine::Bdd, "bdd"},
+      {velev::core::Engine::Both, "both"},
+  };
+};
+
+template <>
+struct velev::names::Registry<velev::core::Verdict> {
+  static constexpr EnumEntry<velev::core::Verdict> entries[] = {
+      {velev::core::Verdict::Correct, "correct"},
+      {velev::core::Verdict::CounterexampleFound, "counterexample"},
+      {velev::core::Verdict::RewriteMismatch, "rewrite-mismatch"},
+      {velev::core::Verdict::Inconclusive, "inconclusive"},
+      {velev::core::Verdict::Timeout, "timeout"},
+      {velev::core::Verdict::MemOut, "memout"},
+      {velev::core::Verdict::Skipped, "skipped"},
+  };
+};

@@ -34,6 +34,12 @@ void traceStats(const TranslationStats& s) {
 
 }  // namespace
 
+const char* ufSchemeName(UfScheme s) { return names::nameOf(s); }
+
+std::optional<UfScheme> ufSchemeFromName(std::string_view name) {
+  return names::fromName<UfScheme>(name);
+}
+
 Translation translate(eufm::Context& cx, Expr correctness,
                       const TranslateOptions& opts) {
   Translation tr;

@@ -14,10 +14,12 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "eufm/expr.hpp"
+#include "support/names.hpp"
 #include "evc/encode.hpp"
 #include "evc/transitivity.hpp"
 #include "prop/cnf.hpp"
@@ -28,6 +30,13 @@ enum class UfScheme {
   NestedIte,  // Bryant–German–Velev: preserves Positive Equality (default)
   Ackermann,  // ablation baseline: forfeits Positive Equality
 };
+
+/// Stable lower-case name ("nested-ite" / "ackermann") used by the run
+/// manifests and the velev_serve request schema.
+const char* ufSchemeName(UfScheme s);
+
+/// Inverse of ufSchemeName(); unknown names yield nullopt.
+std::optional<UfScheme> ufSchemeFromName(std::string_view name);
 
 struct TranslateOptions {
   /// Use the conservative (general-UF) memory model. Sound always; complete
@@ -93,3 +102,13 @@ Translation translate(eufm::Context& cx, eufm::Expr correctness,
                       const TranslateOptions& opts = {});
 
 }  // namespace velev::evc
+
+/// Name-registry table (support/names.hpp): the single source of truth
+/// behind ufSchemeName()/ufSchemeFromName().
+template <>
+struct velev::names::Registry<velev::evc::UfScheme> {
+  static constexpr EnumEntry<velev::evc::UfScheme> entries[] = {
+      {velev::evc::UfScheme::NestedIte, "nested-ite"},
+      {velev::evc::UfScheme::Ackermann, "ackermann"},
+  };
+};

@@ -14,25 +14,10 @@ std::string numbered(const char* base, unsigned i /*1-based*/) {
 }
 }  // namespace
 
-const char* bugKindName(BugKind k) {
-  switch (k) {
-    case BugKind::None: return "none";
-    case BugKind::ForwardingWrongOperand: return "fwd";
-    case BugKind::ForwardingStaleResult: return "stale";
-    case BugKind::RetireIgnoresValidResult: return "retire";
-    case BugKind::AluWrongOpcode: return "alu";
-    case BugKind::CompletionSkipsWrite: return "completion";
-  }
-  return "none";
-}
+const char* bugKindName(BugKind k) { return names::nameOf(k); }
 
 std::optional<BugKind> bugKindFromName(std::string_view name) {
-  for (BugKind k : {BugKind::None, BugKind::ForwardingWrongOperand,
-                    BugKind::ForwardingStaleResult,
-                    BugKind::RetireIgnoresValidResult, BugKind::AluWrongOpcode,
-                    BugKind::CompletionSkipsWrite})
-    if (name == bugKindName(k)) return k;
-  return std::nullopt;
+  return names::fromName<BugKind>(name);
 }
 
 unsigned bugIndexLimit(BugKind k, const OoOConfig& cfg) {

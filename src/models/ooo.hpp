@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "models/isa.hpp"
+#include "support/names.hpp"
 #include "tlsim/netlist.hpp"
 
 namespace velev::models {
@@ -126,3 +127,18 @@ std::unique_ptr<OoOProcessor> buildOoO(eufm::Context& cx, const Isa& isa,
                                        const BugSpec& bug = {});
 
 }  // namespace velev::models
+
+/// Name-registry table (support/names.hpp): the single source of truth
+/// behind bugKindName()/bugKindFromName(). tests/models_test.cpp
+/// round-trips every entry.
+template <>
+struct velev::names::Registry<velev::models::BugKind> {
+  static constexpr EnumEntry<velev::models::BugKind> entries[] = {
+      {velev::models::BugKind::None, "none"},
+      {velev::models::BugKind::ForwardingWrongOperand, "fwd"},
+      {velev::models::BugKind::ForwardingStaleResult, "stale"},
+      {velev::models::BugKind::RetireIgnoresValidResult, "retire"},
+      {velev::models::BugKind::AluWrongOpcode, "alu"},
+      {velev::models::BugKind::CompletionSkipsWrite, "completion"},
+  };
+};

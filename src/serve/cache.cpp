@@ -1,0 +1,93 @@
+#include "serve/cache.hpp"
+
+#include <utility>
+
+namespace velev::serve {
+
+ResultCache::Claim ResultCache::claim(std::uint64_t key,
+                                      core::VerifyResponse* out,
+                                      Waiter waiter) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry e;
+    e.lastUse = ++clock_;
+    entries_.emplace(key, std::move(e));
+    ++stats_.misses;
+    ++stats_.inflight;
+    return Claim::Owner;
+  }
+  Entry& e = it->second;
+  e.lastUse = ++clock_;
+  if (e.ready) {
+    ++stats_.hits;
+    *out = e.response;
+    out->cached = true;
+    return Claim::Hit;
+  }
+  ++stats_.coalesced;
+  e.waiters.push_back(std::move(waiter));
+  return Claim::Joined;
+}
+
+std::vector<ResultCache::Waiter> ResultCache::settle(
+    std::uint64_t key, const core::VerifyResponse& resp, bool store) {
+  std::vector<Waiter> waiters;
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return waiters;  // double-settle; tolerate
+  waiters = std::move(it->second.waiters);
+  if (stats_.inflight > 0) --stats_.inflight;
+  if (store) {
+    it->second.ready = true;
+    it->second.response = resp;
+    it->second.response.cached = true;  // every future hit is a cache copy
+    it->second.waiters.clear();
+    it->second.lastUse = ++clock_;
+    ++stats_.entries;
+    evictIfFullLocked();
+  } else {
+    entries_.erase(it);
+  }
+  return waiters;
+}
+
+void ResultCache::fulfill(std::uint64_t key, const core::VerifyResponse& resp,
+                          bool cacheable) {
+  // Waiters run outside the lock: they write to sockets / fulfill
+  // promises and must never observe the cache mutex held.
+  std::vector<Waiter> waiters = settle(key, resp, cacheable);
+  core::VerifyResponse joined = resp;
+  joined.cached = true;  // a joiner's answer came from a job it did not run
+  for (const Waiter& w : waiters)
+    if (w) w(joined);
+}
+
+void ResultCache::abandon(std::uint64_t key, const core::VerifyResponse& resp) {
+  std::vector<Waiter> waiters = settle(key, resp, /*store=*/false);
+  for (const Waiter& w : waiters)
+    if (w) w(resp);
+}
+
+void ResultCache::evictIfFullLocked() {
+  while (stats_.entries > maxEntries_) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.ready) continue;  // never evict an in-flight key
+      if (victim == entries_.end() ||
+          it->second.lastUse < victim->second.lastUse)
+        victim = it;
+    }
+    if (victim == entries_.end()) return;
+    entries_.erase(victim);
+    --stats_.entries;
+    ++stats_.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return stats_;
+}
+
+}  // namespace velev::serve

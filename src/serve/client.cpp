@@ -1,0 +1,152 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace velev::serve {
+
+std::optional<Client> Client::connectUnix(const std::string& path,
+                                          std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "unix socket path too long: " + path;
+    return std::nullopt;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error != nullptr)
+      *error = "connect " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return std::nullopt;
+  }
+  return Client(fd);
+}
+
+std::optional<Client> Client::connectTcp(const std::string& host, int port,
+                                         std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr)
+      *error = "bad IPv4 address: " + host + " (no resolver in this client)";
+    return std::nullopt;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error != nullptr)
+      *error = "connect " + host + ":" + std::to_string(port) + ": " +
+               std::strerror(errno);
+    ::close(fd);
+    return std::nullopt;
+  }
+  return Client(fd);
+}
+
+std::optional<Client> Client::connect(const std::string& endpoint,
+                                      std::string* error) {
+  std::string ep = endpoint;
+  if (ep.rfind("unix:", 0) == 0) return connectUnix(ep.substr(5), error);
+  if (ep.rfind("tcp:", 0) == 0) ep = ep.substr(4);
+  if (ep.find('/') != std::string::npos) return connectUnix(ep, error);
+  std::string host = "127.0.0.1";
+  std::string portStr = ep;
+  if (const std::size_t colon = ep.rfind(':'); colon != std::string::npos) {
+    if (colon > 0) host = ep.substr(0, colon);
+    portStr = ep.substr(colon + 1);
+  }
+  char* end = nullptr;
+  const long port = std::strtol(portStr.c_str(), &end, 10);
+  if (end == portStr.c_str() || *end != '\0' || port < 1 || port > 65535) {
+    if (error != nullptr) *error = "bad endpoint: " + endpoint;
+    return std::nullopt;
+  }
+  return connectTcp(host, static_cast<int>(port), error);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Client::sendAll(const std::string& data, std::string* error) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (error != nullptr) *error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::recvLine(std::string* line, std::string* error) {
+  for (;;) {
+    if (const std::size_t nl = buffer_.find('\n'); nl != std::string::npos) {
+      *line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (error != nullptr)
+        *error = n == 0 ? "connection closed by server"
+                        : std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    buffer_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<std::string> Client::roundTripLine(const std::string& line,
+                                                 std::string* error) {
+  if (!sendAll(line + "\n", error)) return std::nullopt;
+  std::string response;
+  if (!recvLine(&response, error)) return std::nullopt;
+  return response;
+}
+
+std::optional<core::VerifyResponse> Client::roundTrip(
+    const core::VerifyRequest& req, std::string* error) {
+  const std::optional<std::string> line =
+      roundTripLine(compactJson(req.toJson()), error);
+  if (!line.has_value()) return std::nullopt;
+  return core::VerifyResponse::parse(*line, error);
+}
+
+}  // namespace velev::serve

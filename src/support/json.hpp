@@ -218,4 +218,22 @@ class JsonValue {
 std::optional<JsonValue> parseJson(std::string_view text,
                                    std::string* error = nullptr);
 
+/// Collapse JsonWriter's newline+indent formatting into a single line, for
+/// newline-delimited wire protocols (velev_serve). Safe on writer output
+/// because the writer escapes every control character inside strings: a
+/// raw '\n' can only be formatting, and the only characters it ever emits
+/// after one are indent spaces.
+inline std::string compactJson(std::string_view pretty) {
+  std::string out;
+  out.reserve(pretty.size());
+  for (std::size_t i = 0; i < pretty.size(); ++i) {
+    if (pretty[i] == '\n') {
+      while (i + 1 < pretty.size() && pretty[i + 1] == ' ') ++i;
+      continue;
+    }
+    out += pretty[i];
+  }
+  return out;
+}
+
 }  // namespace velev

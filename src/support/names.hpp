@@ -1,0 +1,82 @@
+// One enum <-> string registry for every stable name the CLIs, the JSON
+// schemas (BENCH_*.json, manifests, the velev_serve wire protocol) and the
+// fuzz corpus rely on.
+//
+// Before this header existed, each enum carried a hand-maintained pair of
+// `xName()` / `xFromName()` functions whose switch statements and value
+// lists had to be kept in sync by eye — a new Verdict or Engine could
+// silently miss one direction of the mapping. Now each enum declares a
+// single table once:
+//
+//   template <> struct velev::names::Registry<core::Verdict> {
+//     static constexpr EnumEntry<core::Verdict> entries[] = {
+//         {core::Verdict::Correct, "correct"}, ...};
+//   };
+//
+// and both directions (plus the value list the round-trip tests iterate)
+// fall out of the one table:
+//
+//   names::nameOf(v)          -> const char*       ("unknown" when unmapped)
+//   names::fromName<E>("x")   -> std::optional<E>
+//   names::valuesOf<E>()      -> std::vector<E>    (test enumeration)
+//
+// The legacy helpers (core::verdictName, models::bugKindName, ...) remain
+// as thin wrappers over the registry, so no call site changed. Every
+// registry table is covered by a round-trip TEST_P over valuesOf<E>() (see
+// tests/core_test.cpp, tests/models_test.cpp, tests/evc_test.cpp);
+// enumerators added without a table entry are additionally caught by the
+// -Wswitch warnings on the remaining semantic switches (verdictExitCode).
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace velev::names {
+
+template <class E>
+struct EnumEntry {
+  E value;
+  const char* name;
+};
+
+/// Specialize per enum with a static constexpr `entries` array. The table
+/// is the single source of truth for both mapping directions.
+template <class E>
+struct Registry;
+
+/// Stable lower-case name of `v`; "unknown" when the registry misses it.
+template <class E>
+constexpr const char* nameOf(E v) {
+  for (const EnumEntry<E>& e : Registry<E>::entries)
+    if (e.value == v) return e.name;
+  return "unknown";
+}
+
+/// Inverse of nameOf(); unknown names yield nullopt.
+template <class E>
+constexpr std::optional<E> fromName(std::string_view name) {
+  for (const EnumEntry<E>& e : Registry<E>::entries)
+    if (name == std::string_view(e.name)) return e.value;
+  return std::nullopt;
+}
+
+/// Every registered enumerator, in table order — what the round-trip
+/// TEST_P suites instantiate over.
+template <class E>
+std::vector<E> valuesOf() {
+  std::vector<E> values;
+  values.reserve(std::size(Registry<E>::entries));
+  for (const EnumEntry<E>& e : Registry<E>::entries) values.push_back(e.value);
+  return values;
+}
+
+/// Number of registered enumerators.
+template <class E>
+constexpr std::size_t countOf() {
+  return std::size(Registry<E>::entries);
+}
+
+}  // namespace velev::names

@@ -47,10 +47,18 @@
 #include "rewrite/engine.hpp"
 #include "rewrite/update_chain.hpp"
 
-// core/ — Burch–Dill diagram, verifier front end, parallel grid runner.
+// core/ — Burch–Dill diagram, verifier front end, serializable
+// request/response surface, parallel grid runner, shared report writer.
 #include "core/diagram.hpp"
 #include "core/grid_runner.hpp"
+#include "core/report_json.hpp"
+#include "core/request.hpp"
 #include "core/verifier.hpp"
+
+// serve/ — the velev_serve daemon: result cache, server, wire client.
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 // fuzz/ — seeded differential fuzzing, counterexample decoding, corpus.
 #include "fuzz/fuzz.hpp"

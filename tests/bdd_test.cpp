@@ -11,6 +11,7 @@
 
 #include "bdd/bdd.hpp"
 #include "bdd/check.hpp"
+#include "core/request.hpp"
 #include "core/verifier.hpp"
 #include "prop/cnf.hpp"
 #include "prop/prop.hpp"
@@ -315,12 +316,15 @@ TEST(BddEngine, AgreesWithSatOnSmallCells) {
       {2, 1, {models::BugKind::ForwardingStaleResult, 2}},
   };
   for (const Cell& c : cells) {
-    core::VerifyOptions opts;
-    opts.strategy = core::Strategy::PositiveEqualityOnly;
-    opts.engine = core::Engine::Sat;
-    const core::VerifyReport satRep = core::verify({c.n, c.k}, c.bug, opts);
-    opts.engine = core::Engine::Bdd;
-    const core::VerifyReport bddRep = core::verify({c.n, c.k}, c.bug, opts);
+    core::VerifyRequest req;
+    req.robSize = c.n;
+    req.issueWidth = c.k;
+    req.bug = c.bug;
+    req.strategy = core::Strategy::PositiveEqualityOnly;
+    req.engine = core::Engine::Sat;
+    const core::VerifyReport satRep = core::verify(req);
+    req.engine = core::Engine::Bdd;
+    const core::VerifyReport bddRep = core::verify(req);
     EXPECT_EQ(satRep.verdict(), bddRep.verdict())
         << c.n << "x" << c.k << " bug=" << static_cast<int>(c.bug.kind);
     EXPECT_GT(bddRep.bddStats.nodesPeak, 0u);
@@ -329,17 +333,20 @@ TEST(BddEngine, AgreesWithSatOnSmallCells) {
 }
 
 TEST(BddEngine, BothRunsBothAndCrossChecks) {
-  core::VerifyOptions opts;
-  opts.strategy = core::Strategy::PositiveEqualityOnly;
-  opts.engine = core::Engine::Both;
+  core::VerifyRequest req;
+  req.robSize = 2;
+  req.issueWidth = 2;
+  req.strategy = core::Strategy::PositiveEqualityOnly;
+  req.engine = core::Engine::Both;
 
-  const core::VerifyReport ok = core::verify({2, 2}, {}, opts);
+  const core::VerifyReport ok = core::verify(req);
   EXPECT_EQ(ok.verdict(), core::Verdict::Correct);
   EXPECT_GT(ok.bddStats.nodesPeak, 0u);           // BDD side genuinely ran
   EXPECT_EQ(ok.outcome.satResult, sat::Result::Unsat);  // and so did SAT
 
-  const core::VerifyReport bug = core::verify(
-      {2, 1}, {models::BugKind::ForwardingStaleResult, 2}, opts);
+  req.issueWidth = 1;
+  req.bug = {models::BugKind::ForwardingStaleResult, 2};
+  const core::VerifyReport bug = core::verify(req);
   EXPECT_EQ(bug.verdict(), core::Verdict::CounterexampleFound);
   EXPECT_GT(bug.bddStats.nodesPeak, 0u);
 }

@@ -155,15 +155,17 @@ TEST(BudgetVerify, TinyMemoryBudgetGivesMemOutDeterministically) {
   // Calibration-free determinism: measure the run's real logical peak
   // unbudgeted, then re-run with half that — the same deterministic
   // allocation sequence must cross the budget at the same point.
-  core::VerifyOptions opts;
-  opts.strategy = core::Strategy::PositiveEqualityOnly;
-  const core::VerifyReport full = core::verify({3, 2}, {}, opts);
+  core::VerifyRequest req;
+  req.robSize = 3;
+  req.issueWidth = 2;
+  req.strategy = core::Strategy::PositiveEqualityOnly;
+  const core::VerifyReport full = core::verify(req);
   ASSERT_EQ(full.verdict(), core::Verdict::Correct);
   ASSERT_GT(full.outcome.peakArenaBytes, 0u);
 
-  opts.budget.memoryBytes = full.outcome.peakArenaBytes / 2;
+  req.memoryBudgetBytes = full.outcome.peakArenaBytes / 2;
   for (int run = 0; run < 2; ++run) {
-    const core::VerifyReport rep = core::verify({3, 2}, {}, opts);
+    const core::VerifyReport rep = core::verify(req);
     EXPECT_EQ(rep.verdict(), core::Verdict::MemOut);
     EXPECT_TRUE(rep.outcome.budgetExceeded());
     EXPECT_FALSE(rep.outcome.reason.empty());
@@ -175,20 +177,24 @@ TEST(BudgetVerify, TinyMemoryBudgetGivesMemOutDeterministically) {
 }
 
 TEST(BudgetVerify, ExpiredDeadlineGivesTimeout) {
-  core::VerifyOptions opts;
-  opts.strategy = core::Strategy::PositiveEqualityOnly;
-  opts.budget.wallSeconds = 1e-9;
-  const core::VerifyReport rep = core::verify({3, 2}, {}, opts);
+  core::VerifyRequest req;
+  req.robSize = 3;
+  req.issueWidth = 2;
+  req.strategy = core::Strategy::PositiveEqualityOnly;
+  req.timeoutSeconds = 1e-9;
+  const core::VerifyReport rep = core::verify(req);
   EXPECT_EQ(rep.verdict(), core::Verdict::Timeout);
   EXPECT_TRUE(rep.outcome.budgetExceeded());
   EXPECT_FALSE(rep.outcome.reason.empty());
 }
 
 TEST(BudgetVerify, GenerousBudgetStillProvesCorrect) {
-  core::VerifyOptions opts;
-  opts.budget.wallSeconds = 3600;
-  opts.budget.memoryBytes = std::size_t{4} << 30;
-  const core::VerifyReport rep = core::verify({4, 2}, {}, opts);
+  core::VerifyRequest req;
+  req.robSize = 4;
+  req.issueWidth = 2;
+  req.timeoutSeconds = 3600;
+  req.memoryBudgetBytes = std::uint64_t{4} << 30;
+  const core::VerifyReport rep = core::verify(req);
   EXPECT_EQ(rep.verdict(), core::Verdict::Correct);
   EXPECT_FALSE(rep.outcome.budgetExceeded());
 }
@@ -197,12 +203,13 @@ TEST(BudgetVerify, GenerousBudgetStillProvesCorrect) {
 
 TEST(BudgetGrid, MemOutCellDoesNotDisturbSiblings) {
   // Sibling cells, small enough to verify quickly PE-only.
-  const std::vector<core::GridCell> siblings = core::makeGrid(
-      std::vector<unsigned>{2, 3}, std::vector<unsigned>{1, 2});
+  core::VerifyRequest base;
+  base.strategy = core::Strategy::PositiveEqualityOnly;
+  const std::vector<core::VerifyRequest> siblings = core::makeGridRequests(
+      std::vector<unsigned>{2, 3}, std::vector<unsigned>{1, 2}, base);
 
-  core::GridOptions unbudgeted;
+  core::GridRunOptions unbudgeted;
   unbudgeted.jobs = 1;
-  unbudgeted.verify.strategy = core::Strategy::PositiveEqualityOnly;
   const auto baseline = core::runGrid(siblings, unbudgeted);
   std::size_t siblingPeak = 0;
   for (const auto& r : baseline) {
@@ -213,11 +220,15 @@ TEST(BudgetGrid, MemOutCellDoesNotDisturbSiblings) {
 
   // Same grid plus one oversized cell, under a budget every sibling fits in
   // with 4x headroom but the big cell's PE-only translation cannot.
-  std::vector<core::GridCell> cells = siblings;
-  cells.push_back(core::GridCell{16, 4, {}});
-  core::GridOptions budgeted = unbudgeted;
+  std::vector<core::VerifyRequest> cells = siblings;
+  core::VerifyRequest big16 = base;
+  big16.robSize = 16;
+  big16.issueWidth = 4;
+  cells.push_back(big16);
+  for (core::VerifyRequest& c : cells)
+    c.memoryBudgetBytes = siblingPeak * 4;
+  core::GridRunOptions budgeted = unbudgeted;
   budgeted.jobs = 3;  // exercise the concurrent path too
-  budgeted.verify.budget.memoryBytes = siblingPeak * 4;
 
   const auto results = core::runGrid(cells, budgeted);
   ASSERT_EQ(results.size(), siblings.size() + 1);
@@ -240,16 +251,19 @@ TEST(BudgetGrid, MemOutCellDoesNotDisturbSiblings) {
 TEST(BudgetGrid, FallbackRetriesMemOutCellWithRewriting) {
   // Calibrate: the rewriting flow's peak for this cell (it must fit), then
   // budget so the PE-only attempt trips but the rewriting retry succeeds.
-  core::VerifyOptions rw;
+  core::VerifyRequest rw;
+  rw.robSize = 16;
+  rw.issueWidth = 2;
   rw.strategy = core::Strategy::RewritingPlusPositiveEquality;
-  const core::VerifyReport rwRep = core::verify({16, 2}, {}, rw);
+  const core::VerifyReport rwRep = core::verify(rw);
   ASSERT_EQ(rwRep.verdict(), core::Verdict::Correct);
 
-  std::vector<core::GridCell> cells = {core::GridCell{16, 2, {}}};
-  core::GridOptions gopts;
+  core::VerifyRequest pe = rw;
+  pe.strategy = core::Strategy::PositiveEqualityOnly;
+  pe.memoryBudgetBytes = rwRep.outcome.peakArenaBytes * 2;
+  const std::vector<core::VerifyRequest> cells = {pe};
+  core::GridRunOptions gopts;
   gopts.jobs = 1;
-  gopts.verify.strategy = core::Strategy::PositiveEqualityOnly;
-  gopts.verify.budget.memoryBytes = rwRep.outcome.peakArenaBytes * 2;
   gopts.fallback = core::FallbackPolicy::RetryWithRewriting;
 
   const auto results = core::runGrid(cells, gopts);

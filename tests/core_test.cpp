@@ -1,12 +1,22 @@
 // End-to-end integration tests of the verifier: both strategies on a grid
-// of correct configurations, all bug kinds caught, verdict semantics, and
-// cross-strategy agreement.
+// of correct configurations, all bug kinds caught, verdict semantics,
+// cross-strategy agreement, and the name-registry round trips for the
+// core enums.
 #include <gtest/gtest.h>
 
+#include "core/request.hpp"
 #include "core/verifier.hpp"
+#include "support/names.hpp"
 
 namespace velev::core {
 namespace {
+
+VerifyRequest makeRequest(unsigned n, unsigned k) {
+  VerifyRequest req;
+  req.robSize = n;
+  req.issueWidth = k;
+  return req;
+}
 
 struct GridParam {
   unsigned n, k;
@@ -17,9 +27,9 @@ class VerifyGrid : public ::testing::TestWithParam<GridParam> {};
 TEST_P(VerifyGrid, BothStrategiesProveCorrectDesign) {
   const auto [n, k] = GetParam();
   {
-    VerifyOptions opts;
-    opts.strategy = Strategy::RewritingPlusPositiveEquality;
-    const VerifyReport rep = verify({n, k}, {}, opts);
+    VerifyRequest req = makeRequest(n, k);
+    req.strategy = Strategy::RewritingPlusPositiveEquality;
+    const VerifyReport rep = verify(req);
     EXPECT_EQ(rep.verdict(), Verdict::Correct)
         << rep.outcome.reason << " slice " << rep.outcome.failedSlice;
     // The paper's Table 5 property: no e_ij variables after rewriting.
@@ -29,9 +39,9 @@ TEST_P(VerifyGrid, BothStrategiesProveCorrectDesign) {
   // PE-only blows up steeply (the phenomenon of Table 2); N=4/k=4 already
   // takes minutes, so the test grid stops at N=3 — the benches cover more.
   if (n <= 3) {
-    VerifyOptions opts;
-    opts.strategy = Strategy::PositiveEqualityOnly;
-    const VerifyReport rep = verify({n, k}, {}, opts);
+    VerifyRequest req = makeRequest(n, k);
+    req.strategy = Strategy::PositiveEqualityOnly;
+    const VerifyReport rep = verify(req);
     EXPECT_EQ(rep.verdict(), Verdict::Correct);
     EXPECT_GT(rep.evcStats.eijVars, 0u);
   }
@@ -58,9 +68,10 @@ class VerifyBugs : public ::testing::TestWithParam<BugCase> {};
 
 TEST_P(VerifyBugs, RewritingFlagsBug) {
   const auto& p = GetParam();
-  VerifyOptions opts;
-  opts.strategy = Strategy::RewritingPlusPositiveEquality;
-  const VerifyReport rep = verify({p.n, p.k}, {p.kind, p.index}, opts);
+  VerifyRequest req = makeRequest(p.n, p.k);
+  req.bug = {p.kind, p.index};
+  req.strategy = Strategy::RewritingPlusPositiveEquality;
+  const VerifyReport rep = verify(req);
   EXPECT_EQ(rep.verdict(), Verdict::RewriteMismatch);
   EXPECT_GE(rep.outcome.failedSlice, 1u);
   EXPECT_FALSE(rep.outcome.reason.empty());
@@ -68,9 +79,10 @@ TEST_P(VerifyBugs, RewritingFlagsBug) {
 
 TEST_P(VerifyBugs, PositiveEqualityOnlyVerdict) {
   const auto& p = GetParam();
-  VerifyOptions opts;
-  opts.strategy = Strategy::PositiveEqualityOnly;
-  const VerifyReport rep = verify({p.n, p.k}, {p.kind, p.index}, opts);
+  VerifyRequest req = makeRequest(p.n, p.k);
+  req.bug = {p.kind, p.index};
+  req.strategy = Strategy::PositiveEqualityOnly;
+  const VerifyReport rep = verify(req);
   if (p.peOnlyFindsCounterexample) {
     EXPECT_EQ(rep.verdict(), Verdict::CounterexampleFound);
   } else {
@@ -103,7 +115,7 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(Verify, ReportTimingsPopulated) {
-  const VerifyReport rep = verify({4, 2});
+  const VerifyReport rep = verify(makeRequest(4, 2));
   EXPECT_GE(rep.simSeconds(), 0.0);
   EXPECT_GE(rep.totalSeconds(), rep.satSeconds());
   EXPECT_EQ(rep.outcome.satResult, sat::Result::Unsat);
@@ -117,20 +129,21 @@ TEST(Verify, ReportTimingsPopulated) {
 TEST(Verify, ConflictBudgetGivesInconclusive) {
   // PE-only on a moderately sized design with a 1-conflict budget cannot
   // complete the proof.
-  VerifyOptions opts;
-  opts.strategy = Strategy::PositiveEqualityOnly;
-  opts.budget.satConflicts = 1;
-  const VerifyReport rep = verify({4, 2}, {}, opts);
+  VerifyRequest req = makeRequest(4, 2);
+  req.strategy = Strategy::PositiveEqualityOnly;
+  req.satConflictBudget = 1;
+  const VerifyReport rep = verify(req);
   EXPECT_EQ(rep.verdict(), Verdict::Inconclusive);
   EXPECT_FALSE(rep.outcome.budgetExceeded());
   EXPECT_FALSE(rep.outcome.reason.empty());
 }
 
 TEST(Verify, NaiveSimulationGivesSameVerdict) {
-  VerifyOptions coi, naive;
-  naive.sim.coneOfInfluence = false;
-  const VerifyReport a = verify({4, 2}, {}, coi);
-  const VerifyReport b = verify({4, 2}, {}, naive);
+  VerifyRequest coi = makeRequest(4, 2);
+  VerifyRequest naive = makeRequest(4, 2);
+  naive.coneOfInfluence = false;
+  const VerifyReport a = verify(coi);
+  const VerifyReport b = verify(naive);
   EXPECT_EQ(a.verdict(), Verdict::Correct);
   EXPECT_EQ(b.verdict(), Verdict::Correct);
   // The naive mode must do strictly more evaluation work.
@@ -140,23 +153,78 @@ TEST(Verify, NaiveSimulationGivesSameVerdict) {
 TEST(Verify, CnfStatsIndependentOfRobSize) {
   // Table 5's headline property: after rewriting, the CNF depends only on
   // the issue width.
-  VerifyOptions opts;
-  const VerifyReport a = verify({4, 2}, {}, opts);
-  const VerifyReport b = verify({12, 2}, {}, opts);
-  const VerifyReport c = verify({24, 2}, {}, opts);
+  const VerifyReport a = verify(makeRequest(4, 2));
+  const VerifyReport b = verify(makeRequest(12, 2));
+  const VerifyReport c = verify(makeRequest(24, 2));
   EXPECT_EQ(a.evcStats.cnfVars, b.evcStats.cnfVars);
   EXPECT_EQ(b.evcStats.cnfVars, c.evcStats.cnfVars);
   EXPECT_EQ(a.evcStats.cnfClauses, c.evcStats.cnfClauses);
 }
 
 TEST(Verify, PeOnlyCnfGrowsWithRobSize) {
-  VerifyOptions opts;
-  opts.strategy = Strategy::PositiveEqualityOnly;
-  const VerifyReport a = verify({2, 1}, {}, opts);
-  const VerifyReport b = verify({4, 1}, {}, opts);
+  VerifyRequest small = makeRequest(2, 1);
+  small.strategy = Strategy::PositiveEqualityOnly;
+  VerifyRequest large = makeRequest(4, 1);
+  large.strategy = Strategy::PositiveEqualityOnly;
+  const VerifyReport a = verify(small);
+  const VerifyReport b = verify(large);
   EXPECT_GT(b.evcStats.cnfVars, a.evcStats.cnfVars);
   EXPECT_GT(b.evcStats.eijVars, a.evcStats.eijVars);
 }
+
+// ---- name-registry round trips ---------------------------------------------
+// Every enumerator of the core enums must round-trip through the
+// support/names.hpp registry: nameOf gives a stable non-"unknown" name and
+// fromName inverts it. An enumerator added without a table entry fails here.
+
+class StrategyNames : public ::testing::TestWithParam<Strategy> {};
+TEST_P(StrategyNames, RoundTrips) {
+  const char* name = names::nameOf(GetParam());
+  EXPECT_STRNE(name, "unknown");
+  const auto back = names::fromName<Strategy>(name);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, GetParam());
+  EXPECT_STREQ(strategyName(GetParam()), name);  // legacy wrapper agrees
+}
+INSTANTIATE_TEST_SUITE_P(Registry, StrategyNames,
+                         ::testing::ValuesIn(names::valuesOf<Strategy>()),
+                         [](const auto& info) {
+                           return std::to_string(info.index);
+                         });
+
+class EngineNames : public ::testing::TestWithParam<Engine> {};
+TEST_P(EngineNames, RoundTrips) {
+  const char* name = names::nameOf(GetParam());
+  EXPECT_STRNE(name, "unknown");
+  const auto back = names::fromName<Engine>(name);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, GetParam());
+  EXPECT_STREQ(engineName(GetParam()), name);
+}
+INSTANTIATE_TEST_SUITE_P(Registry, EngineNames,
+                         ::testing::ValuesIn(names::valuesOf<Engine>()),
+                         [](const auto& info) {
+                           return std::to_string(info.index);
+                         });
+
+class VerdictNames : public ::testing::TestWithParam<Verdict> {};
+TEST_P(VerdictNames, RoundTrips) {
+  const char* name = names::nameOf(GetParam());
+  EXPECT_STRNE(name, "unknown");
+  const auto back = names::fromName<Verdict>(name);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, GetParam());
+  EXPECT_STREQ(verdictName(GetParam()), name);
+  // Every named verdict also has a defined exit-code mapping.
+  const int code = verdictExitCode(GetParam());
+  EXPECT_GE(code, 0);
+  EXPECT_LE(code, 4);
+}
+INSTANTIATE_TEST_SUITE_P(Registry, VerdictNames,
+                         ::testing::ValuesIn(names::valuesOf<Verdict>()),
+                         [](const auto& info) {
+                           return std::to_string(info.index);
+                         });
 
 }  // namespace
 }  // namespace velev::core

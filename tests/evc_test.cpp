@@ -473,5 +473,25 @@ TEST_F(EvcTest, TranslationStatsArePopulated) {
   EXPECT_GE(tr.stats.transitivity.clauses, 3u);
 }
 
+// ---- name-registry round trip ----------------------------------------------
+// Every UfScheme must round-trip through the support/names.hpp registry; an
+// enumerator added without a table entry fails here.
+
+class UfSchemeNames : public ::testing::TestWithParam<UfScheme> {};
+TEST_P(UfSchemeNames, RoundTrips) {
+  const char* name = names::nameOf(GetParam());
+  EXPECT_STRNE(name, "unknown");
+  const auto back = names::fromName<UfScheme>(name);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, GetParam());
+  EXPECT_STREQ(ufSchemeName(GetParam()), name);  // legacy wrapper agrees
+  EXPECT_EQ(ufSchemeFromName(name), GetParam());
+}
+INSTANTIATE_TEST_SUITE_P(Registry, UfSchemeNames,
+                         ::testing::ValuesIn(names::valuesOf<UfScheme>()),
+                         [](const auto& info) {
+                           return std::to_string(info.index);
+                         });
+
 }  // namespace
 }  // namespace velev::evc

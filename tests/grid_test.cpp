@@ -1,7 +1,9 @@
 // Tests for the parallel grid runner: parallel runs must be
 // observationally identical to sequential runs (same verdicts, same CNF
 // statistics, input order preserved), cancellation must stop queued cells,
-// and makeGrid must drop impossible configurations.
+// makeGrid/makeGridRequests must drop impossible configurations, and the
+// deprecated GridOptions overload must keep behaving like the request-based
+// one for the release it survives.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -23,16 +25,37 @@ TEST(Grid, MakeGridDropsImpossibleCells) {
   EXPECT_EQ(cells.back().issueWidth, 4u);
 }
 
+TEST(Grid, MakeGridRequestsStampsBaseOntoEveryCell) {
+  const std::vector<unsigned> sizes = {2, 4};
+  const std::vector<unsigned> widths = {1, 2, 4};
+  VerifyRequest base;
+  base.strategy = Strategy::PositiveEqualityOnly;
+  base.skipSat = true;
+  base.satConflictBudget = 123;
+  const auto reqs = makeGridRequests(sizes, widths, base);
+  // Same cross product as makeGrid, impossible cells dropped.
+  ASSERT_EQ(reqs.size(), 5u);
+  EXPECT_EQ(reqs[0].robSize, 2u);
+  EXPECT_EQ(reqs[0].issueWidth, 1u);
+  EXPECT_EQ(reqs.back().robSize, 4u);
+  EXPECT_EQ(reqs.back().issueWidth, 4u);
+  for (const VerifyRequest& r : reqs) {
+    EXPECT_EQ(r.strategy, Strategy::PositiveEqualityOnly);
+    EXPECT_TRUE(r.skipSat);
+    EXPECT_EQ(r.satConflictBudget, 123);
+  }
+}
+
 TEST(Grid, ParallelVerdictsIdenticalToSequential) {
   const std::vector<unsigned> sizes = {2, 3, 4};
   const std::vector<unsigned> widths = {1, 2};
-  const auto cells = makeGrid(sizes, widths);
+  const auto cells = makeGridRequests(sizes, widths);
 
-  GridOptions seq;
+  GridRunOptions seq;
   seq.jobs = 1;
   const auto sequential = runGrid(cells, seq);
 
-  GridOptions par;
+  GridRunOptions par;
   par.jobs = 3;
   const auto parallel = runGrid(cells, par);
 
@@ -55,12 +78,34 @@ TEST(Grid, ParallelVerdictsIdenticalToSequential) {
   }
 }
 
+TEST(Grid, HeterogeneousRequestsKeepPerCellOptions) {
+  // The request-based grid may mix strategies and budgets per cell — each
+  // cell must be judged under ITS options, not the first cell's.
+  std::vector<VerifyRequest> reqs(2);
+  reqs[0].robSize = 3;
+  reqs[0].issueWidth = 1;
+  reqs[0].strategy = Strategy::RewritingPlusPositiveEquality;
+  reqs[1].robSize = 3;
+  reqs[1].issueWidth = 1;
+  reqs[1].strategy = Strategy::PositiveEqualityOnly;
+  GridRunOptions opts;
+  opts.jobs = 2;
+  const auto results = runGrid(reqs, opts);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].report.verdict(), Verdict::Correct);
+  EXPECT_EQ(results[1].report.verdict(), Verdict::Correct);
+  // PE-only skips the rewriting stage, so its e_ij/CNF encoding is the
+  // bigger one — the two cells must not share one translation.
+  EXPECT_GT(results[1].report.evcStats.cnfVars,
+            results[0].report.evcStats.cnfVars);
+}
+
 TEST(Grid, BuggyCellReportsMismatchUnderParallelRun) {
-  std::vector<GridCell> cells = makeGrid(std::vector<unsigned>{4, 8},
-                                         std::vector<unsigned>{2});
+  std::vector<VerifyRequest> cells =
+      makeGridRequests(std::vector<unsigned>{4, 8}, std::vector<unsigned>{2});
   cells[1].bug.kind = models::BugKind::ForwardingWrongOperand;
   cells[1].bug.index = 2;
-  GridOptions opts;
+  GridRunOptions opts;
   opts.jobs = 2;
   const auto results = runGrid(cells, opts);
   EXPECT_EQ(results[0].report.verdict(), Verdict::Correct);
@@ -69,12 +114,12 @@ TEST(Grid, BuggyCellReportsMismatchUnderParallelRun) {
 }
 
 TEST(Grid, CancelledBeforeRunSkipsEveryCell) {
-  const auto cells = makeGrid(std::vector<unsigned>{2, 3, 4},
-                              std::vector<unsigned>{1});
+  const auto cells = makeGridRequests(std::vector<unsigned>{2, 3, 4},
+                                      std::vector<unsigned>{1});
   CancelToken token;
   token.cancel();
   for (unsigned jobs : {1u, 2u}) {
-    GridOptions opts;
+    GridRunOptions opts;
     opts.jobs = jobs;
     const auto results = runGrid(cells, opts, &token);
     ASSERT_EQ(results.size(), cells.size());
@@ -93,13 +138,13 @@ TEST(Grid, IncrementalSessionVerdictsIdenticalToFreshRuns) {
   // construction) must judge every cell exactly like fresh per-cell
   // solvers — same verdicts, same translated formulas — while actually
   // reusing the session (inprocessing stats recorded per cell).
-  const auto cells = makeGrid(std::vector<unsigned>{2, 3, 4},
-                              std::vector<unsigned>{1, 2});
+  const auto cells = makeGridRequests(std::vector<unsigned>{2, 3, 4},
+                                      std::vector<unsigned>{1, 2});
 
-  GridOptions fresh;
+  GridRunOptions fresh;
   const auto baseline = runGrid(cells, fresh);
 
-  GridOptions inc;
+  GridRunOptions inc;
   inc.incremental = true;
   const auto shared = runGrid(cells, inc);
 
@@ -120,13 +165,13 @@ TEST(Grid, IncrementalSessionVerdictsIdenticalToFreshRuns) {
 TEST(Grid, IncrementalSessionCatchesInjectedBug) {
   // A buggy cell in the middle of a shared-session sweep must still be
   // flagged, and the later correct cell must not be contaminated by it.
-  std::vector<GridCell> cells = makeGrid(std::vector<unsigned>{4},
-                                         std::vector<unsigned>{2});
+  std::vector<VerifyRequest> cells =
+      makeGridRequests(std::vector<unsigned>{4}, std::vector<unsigned>{2});
   cells.push_back(cells[0]);
   cells.push_back(cells[0]);
   cells[1].bug.kind = models::BugKind::ForwardingWrongOperand;
   cells[1].bug.index = 2;
-  GridOptions opts;
+  GridRunOptions opts;
   opts.incremental = true;
   const auto results = runGrid(cells, opts);
   EXPECT_EQ(results[0].report.verdict(), Verdict::Correct);
@@ -135,10 +180,39 @@ TEST(Grid, IncrementalSessionCatchesInjectedBug) {
 }
 
 TEST(Grid, EmptyGridIsFine) {
-  GridOptions opts;
+  GridRunOptions opts;
   opts.jobs = 4;
   EXPECT_TRUE(runGrid({}, opts).empty());
 }
+
+// The deprecated one-VerifyOptions-for-every-cell overload survives one
+// release; until it is removed it must behave exactly like the request
+// path. This is the only in-tree caller left.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Grid, DeprecatedGridOptionsOverloadMatchesRequestPath) {
+  const std::vector<unsigned> sizes = {2, 3};
+  const std::vector<unsigned> widths = {1, 2};
+
+  GridOptions old;
+  old.verify.strategy = Strategy::PositiveEqualityOnly;
+  const auto oldResults = runGrid(makeGrid(sizes, widths), old);
+
+  VerifyRequest base;
+  base.strategy = Strategy::PositiveEqualityOnly;
+  GridRunOptions now;
+  const auto newResults = runGrid(makeGridRequests(sizes, widths, base), now);
+
+  ASSERT_EQ(oldResults.size(), newResults.size());
+  for (std::size_t i = 0; i < oldResults.size(); ++i) {
+    EXPECT_EQ(oldResults[i].report.verdict(), newResults[i].report.verdict());
+    EXPECT_EQ(oldResults[i].report.evcStats.cnfVars,
+              newResults[i].report.evcStats.cnfVars);
+    EXPECT_EQ(oldResults[i].report.evcStats.cnfClauses,
+              newResults[i].report.evcStats.cnfClauses);
+  }
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace velev::core

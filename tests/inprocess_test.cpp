@@ -12,6 +12,7 @@
 #include <set>
 #include <vector>
 
+#include "core/request.hpp"
 #include "core/verifier.hpp"
 #include "fuzz/fuzz.hpp"
 #include "prop/cnf.hpp"
@@ -239,10 +240,12 @@ TEST(Inprocess, BddEngineAgreesWithInprocessedSatOnPipelineCell) {
   // BDD engine under sibling budgets and raises a hard error on any
   // conclusive disagreement — a Correct verdict therefore certifies
   // cross-engine agreement with inprocessing in the loop.
-  core::VerifyOptions opts;
-  opts.engine = core::Engine::Both;
-  ASSERT_TRUE(opts.inprocess.enabled);
-  const core::VerifyReport rep = core::verify({3, 2}, {}, opts);
+  core::VerifyRequest req;
+  req.robSize = 3;
+  req.issueWidth = 2;
+  req.engine = core::Engine::Both;
+  ASSERT_TRUE(req.inprocess);
+  const core::VerifyReport rep = core::verify(req);
   EXPECT_EQ(rep.verdict(), core::Verdict::Correct);
   EXPECT_TRUE(rep.inprocessed);
   EXPECT_GT(rep.inprocessStats.clausesBefore, 0u);

@@ -268,5 +268,25 @@ TEST(Models, DiagramPcShapes) {
   EXPECT_EQ(d.specRegFile.size(), 3u);
 }
 
+// ---- name-registry round trip ----------------------------------------------
+// Every BugKind must round-trip through the support/names.hpp registry; an
+// enumerator added without a table entry fails here.
+
+class BugKindNames : public ::testing::TestWithParam<BugKind> {};
+TEST_P(BugKindNames, RoundTrips) {
+  const char* name = names::nameOf(GetParam());
+  EXPECT_STRNE(name, "unknown");
+  const auto back = names::fromName<BugKind>(name);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, GetParam());
+  EXPECT_STREQ(bugKindName(GetParam()), name);  // legacy wrapper agrees
+  EXPECT_EQ(bugKindFromName(name), GetParam());
+}
+INSTANTIATE_TEST_SUITE_P(Registry, BugKindNames,
+                         ::testing::ValuesIn(names::valuesOf<BugKind>()),
+                         [](const auto& info) {
+                           return std::to_string(info.index);
+                         });
+
 }  // namespace
 }  // namespace velev::models

@@ -1,0 +1,498 @@
+// Tests for the velev_serve surface: the schema-versioned
+// VerifyRequest/VerifyResponse JSON round trip (strict parsing — unknown
+// fields, bad versions and unknown enum names are rejected), the
+// content-addressed ResultCache (hit/owner/joined, coalescing, LRU, the
+// uncacheable-Timeout policy), the in-process VerifyServer (caching,
+// coalescing under concurrency, budget verdicts and their exit codes,
+// malformed-line handling, control ops) and the socket client against a
+// live server — cached answers must be identical to a fresh in-process
+// verification.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/request.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "support/json.hpp"
+
+namespace velev {
+namespace {
+
+core::VerifyRequest smallRequest(std::uint64_t id = 1) {
+  core::VerifyRequest req;
+  req.id = id;
+  req.robSize = 3;
+  req.issueWidth = 2;
+  return req;
+}
+
+// ---- request schema ---------------------------------------------------------
+
+TEST(ServeRequest, JsonRoundTripPreservesEveryField) {
+  core::VerifyRequest req;
+  req.id = 42;
+  req.robSize = 16;
+  req.issueWidth = 4;
+  req.bug = {models::BugKind::ForwardingWrongOperand, 7};
+  req.strategy = core::Strategy::PositiveEqualityOnly;
+  req.engine = core::Engine::Both;
+  req.ufScheme = evc::UfScheme::Ackermann;
+  req.skipSat = true;
+  req.coneOfInfluence = false;
+  req.inprocess = false;
+  req.timeoutSeconds = 12.5;
+  req.memoryBudgetBytes = 1 << 20;
+  req.satConflictBudget = 9999;
+
+  std::string err;
+  const auto back = core::VerifyRequest::parse(req.toJson(), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(*back, req);
+  EXPECT_EQ(back->id, 42u);
+  EXPECT_EQ(back->bug.kind, models::BugKind::ForwardingWrongOperand);
+  EXPECT_EQ(back->bug.index, 7u);
+  EXPECT_EQ(back->satConflictBudget, 9999);
+}
+
+TEST(ServeRequest, DefaultsRoundTripAndFieldsAreOptional) {
+  // All fields except "version" are optional: the minimal object is the
+  // default request.
+  std::string err;
+  const auto req = core::VerifyRequest::parse("{\"version\": 1}", &err);
+  ASSERT_TRUE(req.has_value()) << err;
+  EXPECT_EQ(*req, core::VerifyRequest{});
+}
+
+TEST(ServeRequest, RejectsUnknownField) {
+  std::string err;
+  const auto req = core::VerifyRequest::parse(
+      "{\"version\": 1, \"rob_size\": 2, \"bogus_knob\": true}", &err);
+  EXPECT_FALSE(req.has_value());
+  EXPECT_NE(err.find("bogus_knob"), std::string::npos) << err;
+}
+
+TEST(ServeRequest, RejectsMissingOrMismatchedVersion) {
+  std::string err;
+  EXPECT_FALSE(core::VerifyRequest::parse("{\"rob_size\": 2}", &err)
+                   .has_value());
+  EXPECT_NE(err.find("version"), std::string::npos) << err;
+  EXPECT_FALSE(
+      core::VerifyRequest::parse("{\"version\": 999}", &err).has_value());
+  EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+TEST(ServeRequest, RejectsUnknownEnumNames) {
+  std::string err;
+  EXPECT_FALSE(core::VerifyRequest::parse(
+                   "{\"version\": 1, \"strategy\": \"telepathy\"}", &err)
+                   .has_value());
+  EXPECT_FALSE(core::VerifyRequest::parse(
+                   "{\"version\": 1, \"engine\": \"abacus\"}", &err)
+                   .has_value());
+  EXPECT_FALSE(core::VerifyRequest::parse(
+                   "{\"version\": 1, \"bug_kind\": \"gremlin\"}", &err)
+                   .has_value());
+}
+
+TEST(ServeRequest, ValidateRejectsOutOfRangeValues) {
+  core::VerifyRequest req;
+  req.robSize = 0;
+  EXPECT_TRUE(req.validate().has_value());
+  req = {};
+  req.robSize = 2;
+  req.issueWidth = 4;  // width > size
+  EXPECT_TRUE(req.validate().has_value());
+  req = {};
+  req.bug = {models::BugKind::ForwardingWrongOperand, 100000};
+  EXPECT_TRUE(req.validate().has_value());
+  EXPECT_FALSE(smallRequest().validate().has_value());
+}
+
+TEST(ServeRequest, CacheKeyIgnoresIdButTracksSemantics) {
+  core::VerifyRequest a = smallRequest(1);
+  core::VerifyRequest b = smallRequest(2);
+  EXPECT_EQ(a.cacheKey(), b.cacheKey());  // id is not content
+  b.robSize = 4;
+  EXPECT_NE(a.cacheKey(), b.cacheKey());
+  core::VerifyRequest c = smallRequest(1);
+  c.inprocess = false;
+  EXPECT_NE(a.cacheKey(), c.cacheKey());
+  EXPECT_EQ(a.cacheKeyHex().size(), 16u);
+}
+
+// ---- response schema --------------------------------------------------------
+
+TEST(ServeResponse, JsonRoundTrip) {
+  core::VerifyResponse resp;
+  resp.id = 7;
+  resp.cached = true;
+  resp.cacheKey = "00deadbeef00cafe";
+  resp.verdict = core::Verdict::RewriteMismatch;
+  resp.reason = "slice 3 does not conform";
+  resp.failedSlice = 3;
+  resp.exitCode = 1;
+  resp.wallSeconds = 0.25;
+  resp.seconds.sim = 0.1;
+  resp.seconds.sat = 0.05;
+  resp.peakArenaBytes = 12345;
+  resp.rssHighWaterKb = 6789;
+  resp.counters = {{"sat.conflicts", 11}, {"tlsim.cycles", 5}};
+
+  std::string err;
+  const auto back = core::VerifyResponse::parse(resp.toJson(), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->id, 7u);
+  EXPECT_TRUE(back->cached);
+  EXPECT_EQ(back->cacheKey, "00deadbeef00cafe");
+  EXPECT_EQ(back->verdict, core::Verdict::RewriteMismatch);
+  EXPECT_EQ(back->failedSlice, 3u);
+  EXPECT_EQ(back->exitCode, 1);
+  EXPECT_DOUBLE_EQ(back->seconds.sim, 0.1);
+  EXPECT_EQ(back->counters, resp.counters);
+}
+
+TEST(ServeResponse, ErrorResponseRoundTrip) {
+  const core::VerifyResponse err = core::VerifyResponse::makeError(9, "nope");
+  EXPECT_EQ(err.exitCode, 2);
+  std::string perr;
+  const auto back = core::VerifyResponse::parse(err.toJson(), &perr);
+  ASSERT_TRUE(back.has_value()) << perr;
+  EXPECT_EQ(back->id, 9u);
+  EXPECT_EQ(back->error, "nope");
+  EXPECT_EQ(back->exitCode, 2);
+}
+
+TEST(ServeResponse, CompactJsonIsOneWireLine) {
+  const core::VerifyRequest req = smallRequest();
+  const std::string wire = compactJson(req.toJson());
+  EXPECT_EQ(wire.find('\n'), std::string::npos);
+  std::string err;
+  const auto back = core::VerifyRequest::parse(wire, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(*back, req);
+}
+
+// ---- result cache -----------------------------------------------------------
+
+TEST(ServeCache, OwnerFulfillThenHit) {
+  serve::ResultCache cache(8);
+  core::VerifyResponse out;
+  EXPECT_EQ(cache.claim(1, &out, nullptr), serve::ResultCache::Claim::Owner);
+
+  core::VerifyResponse resp;
+  resp.verdict = core::Verdict::Correct;
+  cache.fulfill(1, resp, /*cacheable=*/true);
+
+  EXPECT_EQ(cache.claim(1, &out, nullptr), serve::ResultCache::Claim::Hit);
+  EXPECT_EQ(out.verdict, core::Verdict::Correct);
+  EXPECT_TRUE(out.cached);  // hits are marked as cache copies
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.inflight, 0u);
+}
+
+TEST(ServeCache, JoinersCoalesceOntoOneOwner) {
+  serve::ResultCache cache(8);
+  core::VerifyResponse out;
+  ASSERT_EQ(cache.claim(5, &out, nullptr), serve::ResultCache::Claim::Owner);
+
+  std::vector<core::VerifyResponse> delivered;
+  for (int i = 0; i < 3; ++i) {
+    const auto claim = cache.claim(
+        5, &out, [&](const core::VerifyResponse& r) { delivered.push_back(r); });
+    EXPECT_EQ(claim, serve::ResultCache::Claim::Joined);
+  }
+  EXPECT_TRUE(delivered.empty());  // nothing fires before fulfill
+
+  core::VerifyResponse resp;
+  resp.verdict = core::Verdict::Correct;
+  cache.fulfill(5, resp, true);
+
+  ASSERT_EQ(delivered.size(), 3u);
+  for (const auto& r : delivered) {
+    EXPECT_EQ(r.verdict, core::Verdict::Correct);
+    EXPECT_TRUE(r.cached);  // joiners' answers came from a job they didn't run
+  }
+  EXPECT_EQ(cache.stats().coalesced, 3u);
+}
+
+TEST(ServeCache, UncacheableFulfillWakesWaitersButStoresNothing) {
+  serve::ResultCache cache(8);
+  core::VerifyResponse out;
+  ASSERT_EQ(cache.claim(9, &out, nullptr), serve::ResultCache::Claim::Owner);
+  int fired = 0;
+  ASSERT_EQ(cache.claim(9, &out,
+                        [&](const core::VerifyResponse&) { ++fired; }),
+            serve::ResultCache::Claim::Joined);
+
+  core::VerifyResponse resp;
+  resp.verdict = core::Verdict::Timeout;  // the daemon's uncacheable verdict
+  cache.fulfill(9, resp, /*cacheable=*/false);
+
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(cache.stats().entries, 0u);  // no entry left behind
+  // The next claim starts a fresh computation.
+  EXPECT_EQ(cache.claim(9, &out, nullptr), serve::ResultCache::Claim::Owner);
+  cache.abandon(9, resp);
+}
+
+TEST(ServeCache, LruEvictsOldestReadyEntry) {
+  serve::ResultCache cache(2);
+  core::VerifyResponse out, resp;
+  resp.verdict = core::Verdict::Correct;
+  for (std::uint64_t key : {1, 2, 3}) {
+    ASSERT_EQ(cache.claim(key, &out, nullptr),
+              serve::ResultCache::Claim::Owner);
+    cache.fulfill(key, resp, true);
+  }
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  // Key 1 was least recently used; 2 and 3 survive.
+  EXPECT_EQ(cache.claim(1, &out, nullptr), serve::ResultCache::Claim::Owner);
+  cache.abandon(1, resp);
+  EXPECT_EQ(cache.claim(2, &out, nullptr), serve::ResultCache::Claim::Hit);
+  EXPECT_EQ(cache.claim(3, &out, nullptr), serve::ResultCache::Claim::Hit);
+}
+
+// ---- in-process server ------------------------------------------------------
+
+core::VerifyResponse handle(serve::VerifyServer& server,
+                            const core::VerifyRequest& req) {
+  std::string err;
+  const auto resp =
+      core::VerifyResponse::parse(server.handleLine(compactJson(req.toJson())),
+                                  &err);
+  EXPECT_TRUE(resp.has_value()) << err;
+  return resp.value_or(core::VerifyResponse{});
+}
+
+TEST(ServeServer, VerifiesCachesAndAnswersIdentically) {
+  serve::VerifyServer server({});
+  const core::VerifyRequest req = smallRequest();
+
+  const core::VerifyResponse fresh = handle(server, req);
+  EXPECT_TRUE(fresh.error.empty()) << fresh.error;
+  EXPECT_FALSE(fresh.cached);
+  EXPECT_EQ(fresh.verdict, core::Verdict::Correct);
+  EXPECT_EQ(fresh.exitCode, 0);
+  EXPECT_EQ(fresh.cacheKey, req.cacheKeyHex());
+  EXPECT_FALSE(fresh.counters.empty());
+
+  const core::VerifyResponse hit = handle(server, req);
+  EXPECT_TRUE(hit.cached);
+  // The cached answer is the SAME result: verdict and the full canonical
+  // counter block byte-identical to the fresh verification.
+  EXPECT_EQ(hit.verdict, fresh.verdict);
+  EXPECT_EQ(hit.counters, fresh.counters);
+  EXPECT_EQ(hit.peakArenaBytes, fresh.peakArenaBytes);
+
+  // And both match a fresh in-process core::verify of the same request.
+  const core::VerifyReport rep = core::verify(req);
+  EXPECT_EQ(fresh.verdict, rep.verdict());
+  EXPECT_EQ(fresh.counters, core::reportCounters(rep));
+
+  const auto cs = server.cacheStats();
+  EXPECT_EQ(cs.misses, 1u);
+  EXPECT_EQ(cs.hits, 1u);
+}
+
+TEST(ServeServer, ResponseIdEchoesRequestId) {
+  serve::VerifyServer server({});
+  EXPECT_EQ(handle(server, smallRequest(11)).id, 11u);
+  EXPECT_EQ(handle(server, smallRequest(22)).id, 22u);  // cache hit, new id
+}
+
+TEST(ServeServer, ConcurrentIdenticalRequestsShareOneJob) {
+  serve::ServerOptions opts;
+  opts.jobs = 4;
+  serve::VerifyServer server(opts);
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<core::VerifyResponse> resps(kClients);
+  for (int i = 0; i < kClients; ++i)
+    clients.emplace_back(
+        [&, i] { resps[i] = handle(server, smallRequest(i + 1)); });
+  for (auto& t : clients) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(resps[i].error.empty()) << resps[i].error;
+    EXPECT_EQ(resps[i].verdict, core::Verdict::Correct);
+    EXPECT_EQ(resps[i].id, static_cast<std::uint64_t>(i + 1));
+    EXPECT_EQ(resps[i].counters, resps[0].counters);
+  }
+  // All clients asked for one cell: exactly one miss ran a job; everyone
+  // else coalesced onto it or hit the finished entry.
+  const auto cs = server.cacheStats();
+  EXPECT_EQ(cs.misses, 1u);
+  EXPECT_EQ(cs.hits + cs.coalesced, kClients - 1u);
+}
+
+TEST(ServeServer, BudgetVerdictsCarryExitCodes) {
+  serve::VerifyServer server({});
+
+  core::VerifyRequest timeout = smallRequest();
+  timeout.strategy = core::Strategy::PositiveEqualityOnly;
+  timeout.timeoutSeconds = 1e-9;
+  const core::VerifyResponse t = handle(server, timeout);
+  EXPECT_EQ(t.verdict, core::Verdict::Timeout);
+  EXPECT_EQ(t.exitCode, 4);
+  EXPECT_FALSE(t.reason.empty());
+
+  // Wall-clock timeouts are nondeterministic and must NOT be cached: the
+  // identical request runs again, fresh.
+  const core::VerifyResponse t2 = handle(server, timeout);
+  EXPECT_FALSE(t2.cached);
+  EXPECT_EQ(server.cacheStats().entries, 0u);
+
+  // MemOut trips on deterministic logical-arena accounting, so it IS
+  // cacheable.
+  core::VerifyRequest memout = smallRequest();
+  memout.strategy = core::Strategy::PositiveEqualityOnly;
+  memout.memoryBudgetBytes = 1000;
+  const core::VerifyResponse m = handle(server, memout);
+  EXPECT_EQ(m.verdict, core::Verdict::MemOut);
+  EXPECT_EQ(m.exitCode, 4);
+  const core::VerifyResponse m2 = handle(server, memout);
+  EXPECT_TRUE(m2.cached);
+  EXPECT_EQ(m2.verdict, core::Verdict::MemOut);
+}
+
+TEST(ServeServer, AdmissionCapsClampRequestBudgets) {
+  serve::ServerOptions opts;
+  opts.maxTimeoutSeconds = 1e-9;  // every admitted request gets this cap
+  serve::VerifyServer server(opts);
+  core::VerifyRequest req = smallRequest();
+  req.strategy = core::Strategy::PositiveEqualityOnly;
+  req.timeoutSeconds = 0;  // asks for unlimited; the cap clamps it
+  const core::VerifyResponse resp = handle(server, req);
+  EXPECT_EQ(resp.verdict, core::Verdict::Timeout);
+  EXPECT_EQ(resp.exitCode, 4);
+}
+
+TEST(ServeServer, MalformedAndInvalidLinesGetErrorResponses) {
+  serve::VerifyServer server({});
+
+  std::string err;
+  auto resp = core::VerifyResponse::parse(server.handleLine("not json"), &err);
+  ASSERT_TRUE(resp.has_value()) << err;
+  EXPECT_FALSE(resp->error.empty());
+  EXPECT_EQ(resp->exitCode, 2);
+
+  // The id is salvaged from an otherwise-invalid request so the client can
+  // still match the error to its request.
+  resp = core::VerifyResponse::parse(
+      server.handleLine(
+          "{\"version\": 1, \"id\": 77, \"bogus_field\": true}"),
+      &err);
+  ASSERT_TRUE(resp.has_value()) << err;
+  EXPECT_EQ(resp->id, 77u);
+  EXPECT_FALSE(resp->error.empty());
+
+  // Semantic validation failures answer the same way.
+  resp = core::VerifyResponse::parse(
+      server.handleLine("{\"version\": 1, \"id\": 5, \"rob_size\": 0}"),
+      &err);
+  ASSERT_TRUE(resp.has_value()) << err;
+  EXPECT_EQ(resp->id, 5u);
+  EXPECT_FALSE(resp->error.empty());
+  EXPECT_EQ(resp->exitCode, 2);
+}
+
+TEST(ServeServer, ControlOpsAnswerInline) {
+  serve::VerifyServer server({});
+  std::string err;
+
+  const auto ping = parseJson(server.handleLine("{\"op\": \"ping\"}"), &err);
+  ASSERT_TRUE(ping.has_value()) << err;
+  ASSERT_NE(ping->find("ok"), nullptr);
+  EXPECT_TRUE(ping->find("ok")->boolean);
+
+  handle(server, smallRequest());
+  const auto stats = parseJson(server.handleLine("{\"op\": \"stats\"}"), &err);
+  ASSERT_TRUE(stats.has_value()) << err;
+  const JsonValue* counters = stats->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->uintAt("serve.requests"), 1u);
+  EXPECT_EQ(counters->uintAt("serve.cache.misses"), 1u);
+
+  const auto bad = parseJson(server.handleLine("{\"op\": \"dance\"}"), &err);
+  ASSERT_TRUE(bad.has_value()) << err;
+  ASSERT_NE(bad->find("ok"), nullptr);
+  EXPECT_FALSE(bad->find("ok")->boolean);
+}
+
+// ---- socket client against a live server ------------------------------------
+
+TEST(ServeSocket, ClientRoundTripMatchesInProcessVerify) {
+  const std::string path =
+      "/tmp/velev_serve_test_" + std::to_string(::getpid()) + ".sock";
+  serve::ServerOptions opts;
+  opts.unixSocketPath = path;
+  opts.jobs = 2;
+  serve::VerifyServer server(opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  {
+    auto client = serve::Client::connect("unix:" + path, &err);
+    ASSERT_TRUE(client.has_value()) << err;
+
+    core::VerifyRequest req = smallRequest(31);
+    req.bug = {models::BugKind::ForwardingWrongOperand, 2};
+    const auto resp = client->roundTrip(req, &err);
+    ASSERT_TRUE(resp.has_value()) << err;
+    EXPECT_EQ(resp->id, 31u);
+    EXPECT_FALSE(resp->cached);
+    EXPECT_EQ(resp->verdict, core::Verdict::RewriteMismatch);
+    EXPECT_EQ(resp->failedSlice, 2u);
+    EXPECT_EQ(resp->exitCode, 1);
+
+    // Same request again: a cache hit over the wire, same content as a
+    // fresh in-process verification.
+    const auto hit = client->roundTrip(req, &err);
+    ASSERT_TRUE(hit.has_value()) << err;
+    EXPECT_TRUE(hit->cached);
+    EXPECT_EQ(hit->verdict, resp->verdict);
+    EXPECT_EQ(hit->counters, resp->counters);
+
+    const core::VerifyReport rep = core::verify(req);
+    EXPECT_EQ(hit->verdict, rep.verdict());
+    EXPECT_EQ(hit->counters, core::reportCounters(rep));
+  }
+  server.stop();
+}
+
+TEST(ServeSocket, EphemeralTcpPortServesRequests) {
+  serve::ServerOptions opts;
+  opts.tcpPort = 0;  // kernel-assigned loopback port
+  serve::VerifyServer server(opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  ASSERT_GT(server.tcpPort(), 0);
+
+  {
+    auto client = serve::Client::connect(
+        "127.0.0.1:" + std::to_string(server.tcpPort()), &err);
+    ASSERT_TRUE(client.has_value()) << err;
+    const auto resp = client->roundTrip(smallRequest(3), &err);
+    ASSERT_TRUE(resp.has_value()) << err;
+    EXPECT_EQ(resp->verdict, core::Verdict::Correct);
+    EXPECT_EQ(resp->id, 3u);
+  }
+  server.stop();
+}
+
+}  // namespace
+}  // namespace velev

@@ -2,35 +2,39 @@
 // strategies; a seeded bug must be caught.
 #include <gtest/gtest.h>
 
+#include "core/request.hpp"
 #include "core/verifier.hpp"
 
 namespace velev {
 namespace {
 
 TEST(Smoke, CorrectDesignRewriteStrategy) {
-  models::OoOConfig cfg{.robSize = 3, .issueWidth = 2};
-  core::VerifyOptions opts;
-  opts.strategy = core::Strategy::RewritingPlusPositiveEquality;
-  const auto rep = core::verify(cfg, {}, opts);
+  core::VerifyRequest req;
+  req.robSize = 3;
+  req.issueWidth = 2;
+  req.strategy = core::Strategy::RewritingPlusPositiveEquality;
+  const auto rep = core::verify(req);
   EXPECT_EQ(rep.verdict(), core::Verdict::Correct) << rep.outcome.reason
       << " (slice " << rep.outcome.failedSlice << ")";
   EXPECT_EQ(rep.evcStats.eijVars, 0u);
 }
 
 TEST(Smoke, CorrectDesignPositiveEqualityOnly) {
-  models::OoOConfig cfg{.robSize = 3, .issueWidth = 2};
-  core::VerifyOptions opts;
-  opts.strategy = core::Strategy::PositiveEqualityOnly;
-  const auto rep = core::verify(cfg, {}, opts);
+  core::VerifyRequest req;
+  req.robSize = 3;
+  req.issueWidth = 2;
+  req.strategy = core::Strategy::PositiveEqualityOnly;
+  const auto rep = core::verify(req);
   EXPECT_EQ(rep.verdict(), core::Verdict::Correct);
 }
 
 TEST(Smoke, BuggyForwardingIsCaught) {
-  models::OoOConfig cfg{.robSize = 4, .issueWidth = 2};
-  models::BugSpec bug{models::BugKind::ForwardingWrongOperand, 3};
-  core::VerifyOptions opts;
-  opts.strategy = core::Strategy::RewritingPlusPositiveEquality;
-  const auto rep = core::verify(cfg, bug, opts);
+  core::VerifyRequest req;
+  req.robSize = 4;
+  req.issueWidth = 2;
+  req.bug = {models::BugKind::ForwardingWrongOperand, 3};
+  req.strategy = core::Strategy::RewritingPlusPositiveEquality;
+  const auto rep = core::verify(req);
   EXPECT_EQ(rep.verdict(), core::Verdict::RewriteMismatch);
   EXPECT_EQ(rep.outcome.failedSlice, 3u);
 }

@@ -11,6 +11,7 @@
 #include <sstream>
 #include <thread>
 
+#include "core/request.hpp"
 #include "core/verifier.hpp"
 #include "support/json.hpp"
 
@@ -308,7 +309,10 @@ TEST(Trace, VerifyPublishesPaperCounters) {
   core::VerifyReport rep;
   {
     Use use(&c);
-    rep = core::verify({4, 2});
+    core::VerifyRequest req;
+    req.robSize = 4;
+    req.issueWidth = 2;
+    rep = core::verify(req);
   }
   EXPECT_EQ(rep.verdict(), core::Verdict::Correct);
 
@@ -353,9 +357,11 @@ TEST(Trace, PeOnlyStrategyProducesEijVariables) {
   core::VerifyReport rep;
   {
     Use use(&c);
-    core::VerifyOptions opts;
-    opts.strategy = core::Strategy::PositiveEqualityOnly;
-    rep = core::verify({4, 2}, {}, opts);
+    core::VerifyRequest req;
+    req.robSize = 4;
+    req.issueWidth = 2;
+    req.strategy = core::Strategy::PositiveEqualityOnly;
+    rep = core::verify(req);
   }
   EXPECT_EQ(rep.verdict(), core::Verdict::Correct);
   // Without the rewriting rules the initial-ROB instructions survive into

@@ -1,0 +1,136 @@
+// velev_serve — the long-lived verification daemon.
+//
+//   $ velev_serve --socket /tmp/velev.sock
+//   $ velev_serve --port 7341 --jobs 8
+//   $ velev_serve --socket /tmp/velev.sock --port 0 --cache 4096
+//
+// Listens on a unix-domain socket and/or 127.0.0.1 TCP for
+// newline-delimited JSON verification requests (core::VerifyRequest,
+// schema v1 — see docs/SERVICE.md), schedules them on a work-stealing
+// verification pool, and answers each with a core::VerifyResponse line.
+// Results are content-address cached: identical requests (same cell, same
+// options, same binary) are answered from the cache, and concurrent
+// identical requests coalesce onto one running job.
+//
+// Options:
+//   --socket PATH     unix-domain listening socket (unlinked on exit)
+//   --port N          TCP port on 127.0.0.1; 0 picks an ephemeral port
+//                     (printed as "listening on 127.0.0.1:<port>")
+//   --jobs N          verification pool workers (default: hardware threads)
+//   --cache N         result-cache capacity in entries (default 1024)
+//   --max-timeout S   admission cap: clamp every request's wall-clock
+//                     budget to at most S seconds (default: uncapped)
+//   --max-mem MB      admission cap: clamp every request's memory budget
+//                     to at most MB MiB (default: uncapped)
+//   --quiet           no startup/shutdown chatter on stdout
+//
+// Control ops on any connection: {"op":"ping"}, {"op":"stats"},
+// {"op":"shutdown"} (answers, then the daemon exits cleanly). SIGINT and
+// SIGTERM also shut down cleanly.
+//
+// Exit code: 0 on a clean shutdown, 2 on usage/startup errors.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "velev.hpp"
+
+using namespace velev;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "error: %s\nsee the header of tools/velev_serve.cpp "
+                       "for usage\n",
+               msg);
+  std::exit(2);
+}
+
+serve::VerifyServer* gServer = nullptr;
+
+void onSignal(int) {
+  // Only flag; the main thread observes waitForShutdown() and tears down.
+  if (gServer != nullptr) gServer->requestShutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerOptions opts;
+  opts.jobs = ThreadPool::hardwareThreads();
+  bool quiet = false;
+  bool havePort = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "--socket") opts.unixSocketPath = next();
+    else if (a == "--port") {
+      opts.tcpPort = std::atoi(next());
+      havePort = true;
+      if (opts.tcpPort < 0 || opts.tcpPort > 65535)
+        usage("--port must be 0..65535");
+    } else if (a == "--jobs") {
+      opts.jobs = static_cast<unsigned>(std::atoi(next()));
+      if (opts.jobs < 1) usage("--jobs must be >= 1");
+    } else if (a == "--cache") {
+      const long n = std::atol(next());
+      if (n < 1) usage("--cache must be >= 1 entries");
+      opts.cacheMaxEntries = static_cast<std::size_t>(n);
+    } else if (a == "--max-timeout") {
+      opts.maxTimeoutSeconds = std::atof(next());
+      if (opts.maxTimeoutSeconds <= 0) usage("--max-timeout must be > 0");
+    } else if (a == "--max-mem") {
+      const long mb = std::atol(next());
+      if (mb <= 0) usage("--max-mem must be > 0 MiB");
+      opts.maxMemoryBudgetBytes =
+          static_cast<std::uint64_t>(mb) * 1024u * 1024u;
+    } else if (a == "--quiet") quiet = true;
+    else usage(("unknown option: " + a).c_str());
+  }
+
+  if (opts.unixSocketPath.empty() && !havePort)
+    usage("need a listener: --socket PATH and/or --port N");
+  if (!havePort) opts.tcpPort = -1;
+
+  serve::VerifyServer server(opts);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+
+  gServer = &server;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  if (!quiet) {
+    if (!opts.unixSocketPath.empty())
+      std::printf("listening on %s\n", opts.unixSocketPath.c_str());
+    if (server.tcpPort() >= 0)
+      std::printf("listening on 127.0.0.1:%d\n", server.tcpPort());
+    std::printf("jobs: %u, cache: %zu entries\n", opts.jobs,
+                opts.cacheMaxEntries);
+    std::fflush(stdout);
+  }
+
+  server.waitForShutdown();
+  server.stop();
+  gServer = nullptr;
+
+  if (!quiet) {
+    const serve::ResultCache::Stats cs = server.cacheStats();
+    std::printf("shutdown: %llu hits, %llu misses, %llu coalesced, "
+                "%llu entries\n",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.coalesced),
+                static_cast<unsigned long long>(cs.entries));
+  }
+  return 0;
+}

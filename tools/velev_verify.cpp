@@ -52,6 +52,14 @@
 //   --proof FILE      log a DRAT proof and self-check it on UNSAT
 //   --json FILE       write a machine-readable report (same schema as the
 //                     benches' BENCH_<name>.json)
+//   --connect ADDR    ship the request(s) to a running velev_serve daemon
+//                     (docs/SERVICE.md) instead of verifying in-process.
+//                     ADDR: "unix:PATH", a bare socket path, "HOST:PORT"
+//                     or ":PORT". Verdicts, counters and exit codes match
+//                     the local run; answers served from the daemon's
+//                     result cache print a [cached] marker. Local-run
+//                     features (--dump-cnf, --proof, --trace, --stats,
+//                     --incremental, --fallback) do not apply
 //   --trace DIR       write observability artifacts into DIR (created if
 //                     missing): a Chrome-trace/Perfetto event stream
 //                     (trace.json) and a versioned run manifest
@@ -91,12 +99,10 @@ namespace {
 }
 
 models::BugKind parseBugKind(const std::string& s) {
-  if (s == "fwd") return models::BugKind::ForwardingWrongOperand;
-  if (s == "stale") return models::BugKind::ForwardingStaleResult;
-  if (s == "retire") return models::BugKind::RetireIgnoresValidResult;
-  if (s == "alu") return models::BugKind::AluWrongOpcode;
-  if (s == "completion") return models::BugKind::CompletionSkipsWrite;
-  usage(("unknown bug kind: " + s).c_str());
+  const auto k = models::bugKindFromName(s);
+  if (!k.has_value() || *k == models::BugKind::None)
+    usage(("unknown bug kind: " + s).c_str());
+  return *k;
 }
 
 std::vector<unsigned> parseUnsignedList(const std::string& s) {
@@ -157,8 +163,11 @@ std::vector<core::GridCell> parseGridSpec(const std::string& spec) {
   return cells;
 }
 
+/// --json report: the shared core::ReportCell schema (report_json.hpp)
+/// inside the tool envelope. One writer serves the local paths and the
+/// --connect client mode.
 void writeJsonReport(const char* path, const char* mode, unsigned jobs,
-                     const std::vector<core::GridCellResult>& results,
+                     const std::vector<core::ReportCell>& cells,
                      double totalSeconds) {
   std::ofstream os(path);
   JsonWriter w(os);
@@ -168,28 +177,42 @@ void writeJsonReport(const char* path, const char* mode, unsigned jobs,
   w.kv("jobs", jobs);
   w.key("cells");
   w.beginArray();
-  for (const auto& r : results) {
-    w.beginObject();
-    w.kv("rob_size", r.cell.robSize);
-    w.kv("width", r.cell.issueWidth);
-    w.kv("verdict", verdictName(r.report.verdict()));
-    if (!r.report.outcome.reason.empty())
-      w.kv("reason", r.report.outcome.reason);
-    w.kv("wall_seconds", r.wallSeconds);
-    w.kv("sat_conflicts", r.report.satStats.conflicts);
-    if (r.report.engine != core::Engine::Sat)
-      w.kv("bdd_peak_nodes", r.report.bddStats.nodesPeak);
-    w.kv("peak_arena_bytes", r.report.outcome.peakArenaBytes);
-    w.kv("mem_high_water_kb", r.memHighWaterKb);
-    if (r.fellBack) {
-      w.kv("fell_back", true);
-      w.kv("first_verdict", verdictName(r.firstVerdict));
-    }
-    w.endObject();
-  }
+  for (const core::ReportCell& c : cells) core::writeReportCell(w, c);
   w.endArray();
   w.kv("total_wall_seconds", totalSeconds);
   w.endObject();
+}
+
+std::vector<core::ReportCell> toReportCells(
+    const std::vector<core::GridCellResult>& results) {
+  std::vector<core::ReportCell> cells;
+  cells.reserve(results.size());
+  for (const auto& r : results) cells.push_back(core::makeReportCell(r));
+  return cells;
+}
+
+/// Flatten one wire response into the shared cell schema (sat_conflicts
+/// comes back out of the canonical counter block).
+core::ReportCell responseCell(const core::VerifyRequest& req,
+                              const core::VerifyResponse& resp) {
+  core::ReportCell c;
+  c.robSize = req.robSize;
+  c.issueWidth = req.issueWidth;
+  c.label = resp.cached ? "cached" : "";
+  c.verdict = core::verdictName(resp.verdict);
+  c.reason = resp.reason;
+  c.wallSeconds = resp.wallSeconds;
+  for (const auto& [name, value] : resp.counters)
+    if (name == "sat.conflicts") c.satConflicts = value;
+  c.peakArenaBytes = resp.peakArenaBytes;
+  c.memHighWaterKb = resp.rssHighWaterKb;
+  c.counters = resp.counters;
+  c.stageSeconds = {{"sim", resp.seconds.sim},
+                    {"rewrite", resp.seconds.rewrite},
+                    {"translate", resp.seconds.translate},
+                    {"sat", resp.seconds.sat},
+                    {"bdd", resp.seconds.bdd}};
+  return c;
 }
 
 void printCellLine(const core::GridCellResult& r) {
@@ -239,20 +262,67 @@ int aggregateExitCode(const std::vector<core::GridCellResult>& results) {
   return worst;
 }
 
-int runGridMode(const std::vector<core::GridCell>& cells,
-                const core::GridOptions& gopts, const char* jsonPath,
+int runGridMode(const std::vector<core::VerifyRequest>& requests,
+                const core::GridRunOptions& gopts, const char* jsonPath,
                 bool quiet) {
   Timer total;
   const std::vector<core::GridCellResult> results =
-      core::runGrid(cells, gopts);
+      core::runGrid(requests, gopts);
   const double totalSec = total.seconds();
   for (const auto& r : results) printCellLine(r);
   if (!quiet)
     std::printf("grid: %zu cells in %.3f s with %u jobs\n", results.size(),
                 totalSec, gopts.jobs);
   if (jsonPath)
-    writeJsonReport(jsonPath, "grid", gopts.jobs, results, totalSec);
+    writeJsonReport(jsonPath, "grid", gopts.jobs, toReportCells(results),
+                    totalSec);
   return aggregateExitCode(results);
+}
+
+/// --connect: ship the request(s) to a running velev_serve instead of
+/// verifying in-process. The response carries the same verdict, counters
+/// and exit-code mapping, so scripts behave identically either way.
+int runConnectMode(const char* endpoint,
+                   std::vector<core::VerifyRequest> requests,
+                   const char* mode, const char* jsonPath, bool quiet) {
+  std::string err;
+  std::optional<serve::Client> client = serve::Client::connect(endpoint, &err);
+  if (!client.has_value()) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+    return 2;
+  }
+  Timer total;
+  std::vector<core::ReportCell> cells;
+  auto severity = [](int code) {
+    return code == 1 ? 3 : code == 4 ? 2 : code == 3 ? 1 : 0;
+  };
+  int worst = 0;
+  std::uint64_t id = 1;
+  for (core::VerifyRequest& r : requests) {
+    r.id = id++;
+    const std::optional<core::VerifyResponse> resp =
+        client->roundTrip(r, &err);
+    if (!resp.has_value()) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 2;
+    }
+    if (!resp->error.empty()) {
+      std::fprintf(stderr, "error: server rejected cell %ux%u: %s\n",
+                   r.robSize, r.issueWidth, resp->error.c_str());
+      return 2;
+    }
+    std::printf("cell %ux%u: %s%s (%.3f s)\n", r.robSize, r.issueWidth,
+                core::verdictName(resp->verdict),
+                resp->cached ? " [cached]" : "", resp->wallSeconds);
+    if (severity(resp->exitCode) > severity(worst)) worst = resp->exitCode;
+    cells.push_back(responseCell(r, *resp));
+  }
+  if (!quiet)
+    std::printf("connect: %zu cell(s) via %s in %.3f s\n", cells.size(),
+                endpoint, total.seconds());
+  if (jsonPath)
+    writeJsonReport(jsonPath, mode, 1, cells, total.seconds());
+  return worst;
 }
 
 }  // namespace
@@ -270,6 +340,7 @@ int main(int argc, char** argv) {
   const char* jsonPath = nullptr;
   const char* gridSpec = nullptr;
   const char* traceDir = nullptr;
+  const char* connectEndpoint = nullptr;
   bool stats = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -320,6 +391,7 @@ int main(int argc, char** argv) {
     else if (a == "--dump-cnf") dumpCnf = next();
     else if (a == "--proof") proofPath = next();
     else if (a == "--json") jsonPath = next();
+    else if (a == "--connect") connectEndpoint = next();
     else if (a == "--trace") traceDir = next();
     else if (a == "--stats") stats = true;
     else if (a == "--quiet") quiet = true;
@@ -333,19 +405,49 @@ int main(int argc, char** argv) {
     usage("--incremental applies to grid mode only (a single run has no "
           "cells to share the session across)");
 
+  // The one serializable request the whole flag set folds into; grid mode
+  // stamps sizes × widths onto copies of it, --connect ships it as-is.
+  core::VerifyRequest base;
+  base.robSize = size;
+  base.issueWidth = width;
+  base.bug = bug;
+  base.strategy = peOnly ? core::Strategy::PositiveEqualityOnly
+                         : core::Strategy::RewritingPlusPositiveEquality;
+  base.engine = engine;
+  base.coneOfInfluence = coi;
+  base.inprocess = !noInprocess;
+  base.timeoutSeconds = budget.wallSeconds;
+  base.memoryBudgetBytes = budget.memoryBytes;
+  base.satConflictBudget = budget.satConflicts;
+
   try {
+  if (connectEndpoint) {
+    if (dumpCnf || proofPath || traceDir || stats || incremental ||
+        fallback != core::FallbackPolicy::None)
+      usage("--connect ships requests to a velev_serve daemon; "
+            "--dump-cnf/--proof/--trace/--stats/--incremental/--fallback "
+            "are local-run features");
+    std::vector<core::VerifyRequest> requests;
+    if (gridSpec) {
+      for (const core::GridCell& c : parseGridSpec(gridSpec)) {
+        core::VerifyRequest r = base;
+        r.robSize = c.robSize;
+        r.issueWidth = c.issueWidth;
+        requests.push_back(r);
+      }
+    } else {
+      if (width < 1 || width > size) usage("need 1 <= width <= size");
+      requests.push_back(base);
+    }
+    return runConnectMode(connectEndpoint, std::move(requests),
+                          gridSpec ? "grid" : "single", jsonPath, quiet);
+  }
+
   if (gridSpec) {
     if (dumpCnf || proofPath)
       usage("--dump-cnf/--proof apply to single-configuration runs only");
-    core::GridOptions gopts;
+    core::GridRunOptions gopts;
     gopts.jobs = jobs;
-    gopts.verify.strategy = peOnly
-        ? core::Strategy::PositiveEqualityOnly
-        : core::Strategy::RewritingPlusPositiveEquality;
-    gopts.verify.engine = engine;
-    gopts.verify.budget = budget;
-    gopts.verify.sim.coneOfInfluence = coi;
-    gopts.verify.inprocess.enabled = !noInprocess;
     gopts.incremental = incremental;
     gopts.fallback = fallback;
     if (traceDir) gopts.traceDir = traceDir;
@@ -353,9 +455,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "note: --stats is a single-run view; grid cells "
                            "record their statistics in the --trace "
                            "manifests\n");
-    std::vector<core::GridCell> cells = parseGridSpec(gridSpec);
-    for (core::GridCell& c : cells) c.bug = bug;
-    return runGridMode(cells, gopts, jsonPath, quiet);
+    std::vector<core::VerifyRequest> requests;
+    for (const core::GridCell& c : parseGridSpec(gridSpec)) {
+      core::VerifyRequest r = base;
+      r.robSize = c.robSize;
+      r.issueWidth = c.issueWidth;
+      requests.push_back(r);
+    }
+    return runGridMode(requests, gopts, jsonPath, quiet);
   }
 
   if (width < 1 || width > size) usage("need 1 <= width <= size");
@@ -403,7 +510,8 @@ int main(int argc, char** argv) {
     cellOut.wallSeconds = total.seconds();
     cellOut.memHighWaterKb = rssHighWaterKb();
     if (jsonPath)
-      writeJsonReport(jsonPath, "single", jobs, {cellOut}, total.seconds());
+      writeJsonReport(jsonPath, "single", jobs, {core::makeReportCell(cellOut)},
+                      total.seconds());
     if (collecting) {
       // Publish the canonical counter block plus the per-seed SAT effort
       // on the collector: the manifest merges the collector's counters, and
