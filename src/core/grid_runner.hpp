@@ -15,6 +15,12 @@
 // returned in input order, so a parallel run is observationally identical
 // to the sequential one (up to wall-clock fields).
 //
+// The one sanctioned exception lives *inside* a cell: with cellJobs > 1 a
+// cell's own workers read the cell's (frozen) context through per-worker
+// eufm::ShadowContext overlays — reads of an unmutated context are safe,
+// and each overlay's scratch nodes are thread-private. See
+// docs/SCALING.md.
+//
 // RESOURCE ISOLATION: each cell gets its own BudgetGovernor (armed inside
 // verify()), and the memory budget governs the cell's *logical* arena
 // bytes, not process RSS — so one cell tripping MemOut cannot perturb a
@@ -32,6 +38,14 @@
 
 namespace velev::core {
 
+/// Version of the checkpoint.json schema written by a grid run with
+/// GridRunOptions::checkpointPath (the "version" field — versioned exactly
+/// like manifest.json's schema_version). Bump on any breaking change and
+/// document the migration in docs/SCALING.md. A resume load rejects
+/// mismatched versions wholesale: stale checkpoints restore nothing and
+/// every cell simply re-runs.
+constexpr int kGridCheckpointSchemaVersion = 1;
+
 struct GridCell {
   unsigned robSize = 8;
   unsigned issueWidth = 2;
@@ -47,6 +61,11 @@ struct GridCellResult {
   bool fellBack = false;        // FallbackPolicy retried this cell
   /// When fellBack: the verdict of the original (pre-retry) attempt.
   Verdict firstVerdict = Verdict::Inconclusive;
+  /// Restored from a checkpoint file instead of re-verified (resume mode).
+  /// The report's verdict/seconds/counters are the recorded values; fields
+  /// a checkpoint record does not carry (typed engine sub-structs beyond
+  /// the counter block) are rehydrated from the counters.
+  bool restored = false;
 };
 
 /// What to do with a cell whose first attempt exhausted its budget.
@@ -81,6 +100,26 @@ struct GridRunOptions {
   /// retry (different strategy => different variable skeleton) always runs
   /// on a fresh solver.
   bool incremental = false;
+  /// When non-empty: after every finished (non-skipped) cell the runner
+  /// atomically rewrites this checkpoint file (schema in docs/SCALING.md,
+  /// versioned like manifest.json) with one record per completed cell,
+  /// keyed by VerifyRequest::cacheKey(). A sweep killed mid-run loses at
+  /// most the cells in flight. Only available on the request-based
+  /// runGrid() overload — the deprecated GridCell overload has no stable
+  /// cell identity to key on and ignores it.
+  std::string checkpointPath;
+  /// With `resume` and an existing checkpoint file: cells whose cache key
+  /// has a record are not re-verified — their results are restored
+  /// (GridCellResult::restored) and the run continues with the unfinished
+  /// cells only. A checkpoint written by a different binary (the cache key
+  /// mixes in trace::gitDescribe()) simply matches nothing. Skipped cells
+  /// are never recorded, so a cancelled sweep resumes them too.
+  bool resume = false;
+  /// Worker threads *inside* each cell (VerifyOptions::jobs): parallel
+  /// rewrite slice checks and CNF build. Orthogonal to `jobs`, which fans
+  /// out across cells — the paper-scale sweep runs few huge cells, so it
+  /// wants jobs = 1 and cellJobs = cores.
+  unsigned cellJobs = 1;
 };
 
 /// DEPRECATED companion of the GridCell-based runGrid() overload: one

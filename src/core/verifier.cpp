@@ -1,10 +1,12 @@
 #include "core/verifier.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "bdd/check.hpp"
 #include "rewrite/engine.hpp"
 #include "support/mem.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"
 
@@ -160,6 +162,12 @@ VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
   BudgetGovernor gov(opts.budget);
   ScopedContextBudget attach(cx, gov);
 
+  // Intra-cell worker pool (jobs > 1): shared by the rewrite slice loop and
+  // the CNF build. Results are identical to the sequential path, so nothing
+  // downstream needs to know whether it existed.
+  std::unique_ptr<ThreadPool> pool;
+  if (opts.jobs > 1) pool = std::make_unique<ThreadPool>(opts.jobs);
+
   // `stage` points at the StageSeconds slot of the phase in flight, so a
   // budget trip attributes the partial time to the stage that overran.
   Timer timer;
@@ -198,6 +206,7 @@ VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
     // The Bdd-only engine consumes the AIG directly — skip Tseitin and emit
     // just the transitivity side clauses. Sat and Both need the full CNF.
     topts.emitCnf = opts.engine != Engine::Bdd;
+    topts.pool = pool.get();
 
     // 2. Rewriting rules (optional): prove & remove the updates of the
     //    instructions initially in the ROB, then re-assemble the correctness
@@ -208,7 +217,8 @@ VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
       rewrite::RewriteResult rw = [&] {
         TRACE_SPAN("verify.rewrite");
         return rewrite::rewriteRobUpdates(cx, isa, impl.init, impl.config,
-                                          d.implRegFile, d.specRegFile);
+                                          d.implRegFile, d.specRegFile,
+                                          pool.get());
       }();
       rep.rewriteStats = rw.stats;
       rep.outcome.seconds.rewrite = timer.seconds();

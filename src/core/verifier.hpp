@@ -93,6 +93,14 @@ struct VerifyOptions {
   /// session's own InprocessOptions govern simplification; the run's
   /// governor is attached for the duration of the call. Not owned.
   sat::IncrementalSession* satSession = nullptr;
+  /// Worker threads available *inside* this one verification: with jobs > 1
+  /// a private pool shards the rewrite slice checks (per-slice
+  /// eufm::ShadowContext overlays) and the CNF build (sharded Tseitin, one
+  /// transitivity component per worker). Verdict, counters and the emitted
+  /// CNF are identical to jobs == 1 for any value — parallelism here only
+  /// buys wall clock on the big-N cells of the paper-scale sweep. Not part
+  /// of the serializable VerifyRequest (scheduling, not semantics).
+  unsigned jobs = 1;
 };
 
 enum class Verdict {

@@ -29,6 +29,17 @@ bool Context::nodeEquals(Expr e, Kind k, std::uint32_t sym,
   return true;
 }
 
+Expr Context::find(Kind k, std::uint32_t sym,
+                   std::span<const Expr> args) const {
+  const std::uint64_t mask = table_.size() - 1;
+  std::uint64_t slot = nodeHash(k, sym, args) & mask;
+  while (table_[slot] != kNoExpr) {
+    if (nodeEquals(table_[slot], k, sym, args)) return table_[slot];
+    slot = (slot + 1) & mask;
+  }
+  return kNoExpr;
+}
+
 void Context::growTable() {
   std::vector<Expr> old = std::move(table_);
   table_.assign(old.size() * 2, kNoExpr);

@@ -154,6 +154,13 @@ class Context {
 
   std::size_t numNodes() const { return nodes_.size(); }
 
+  /// Read-only hash-cons probe: the id of the structurally identical node
+  /// if this context already owns one, else kNoExpr. Never interns, never
+  /// touches the budget — safe to call concurrently from many threads as
+  /// long as nobody mutates the context (the ShadowContext overlay's
+  /// read-through path relies on exactly that freeze).
+  Expr find(Kind k, std::uint32_t sym, std::span<const Expr> args) const;
+
   // ---- Resource governance -------------------------------------------------
   /// Attaches (or with nullptr, detaches) a resource governor. While
   /// attached, intern() periodically checkpoints the context's logical

@@ -19,6 +19,7 @@
 
 namespace velev {
 class BudgetGovernor;
+class ThreadPool;
 }  // namespace velev
 
 namespace velev::evc {
@@ -34,8 +35,14 @@ struct TransitivityStats {
 /// allocate fresh CNF variables. Fill-in is where the PE-only flow's
 /// quadratic-and-worse blowup lives, so the elimination loop checkpoints
 /// `governor` (if given) and unwinds as BudgetExceeded on exhaustion.
+///
+/// The comparison graph decomposes into connected components that are
+/// independent under elimination; with a non-null `pool` the components are
+/// chordalized in parallel. Output (clauses, fill-in variable numbering)
+/// and stats are identical for any worker count.
 TransitivityStats addTransitivityConstraints(
     const std::map<std::pair<eufm::Expr, eufm::Expr>, std::uint32_t>& edges,
-    prop::Cnf& cnf, BudgetGovernor* governor = nullptr);
+    prop::Cnf& cnf, BudgetGovernor* governor = nullptr,
+    ThreadPool* pool = nullptr);
 
 }  // namespace velev::evc

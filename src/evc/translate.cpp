@@ -3,6 +3,7 @@
 #include "evc/memory.hpp"
 #include "evc/polarity.hpp"
 #include "evc/ufelim.hpp"
+#include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
 namespace velev::evc {
@@ -92,10 +93,20 @@ Translation translate(eufm::Context& cx, Expr correctness,
   tr.stats.eijVars = enc.numEij();
   tr.stats.otherPrimaryVars = enc.numOtherPrimary();
 
-  // 5. CNF of the negation + transitivity constraints.
+  // 5. CNF of the negation + transitivity constraints. Both sub-steps can
+  // shard across opts.pool; the `evc.parallel.*` spans record the
+  // coordinator's wait on the sharded work (absent on sequential runs).
+  if (opts.pool != nullptr)
+    velev::trace::counterSet("evc.parallel.jobs", opts.pool->size());
   if (opts.emitCnf) {
     TRACE_SPAN("translate.cnf");
-    tr.cnf = prop::tseitin(*enc.pctx, enc.root, /*negateRoot=*/true);
+    if (opts.pool != nullptr) {
+      TRACE_SPAN("evc.parallel.tseitin");
+      tr.cnf = prop::tseitin(*enc.pctx, enc.root, /*negateRoot=*/true,
+                             opts.pool);
+    } else {
+      tr.cnf = prop::tseitin(*enc.pctx, enc.root, /*negateRoot=*/true);
+    }
   } else {
     // BDD engine: no Tseitin — the CNF carries only the transitivity
     // constraints, whose fill-in variables number after the AIG inputs.
@@ -106,8 +117,14 @@ Translation translate(eufm::Context& cx, Expr correctness,
     std::map<std::pair<Expr, Expr>, std::uint32_t> eijCnfVars;
     for (const auto& [pair, lit] : enc.eijLit)
       eijCnfVars.emplace(pair, enc.pctx->varIndex(prop::nodeOf(lit)) + 1);
-    tr.stats.transitivity =
-        addTransitivityConstraints(eijCnfVars, tr.cnf, cx.budgetGovernor());
+    if (opts.pool != nullptr) {
+      TRACE_SPAN("evc.parallel.transitivity");
+      tr.stats.transitivity = addTransitivityConstraints(
+          eijCnfVars, tr.cnf, cx.budgetGovernor(), opts.pool);
+    } else {
+      tr.stats.transitivity =
+          addTransitivityConstraints(eijCnfVars, tr.cnf, cx.budgetGovernor());
+    }
   }
   tr.stats.cnfVars = tr.cnf.numVars;
   tr.stats.cnfClauses = tr.cnf.numClauses();

@@ -49,6 +49,11 @@ struct TranslateOptions {
   /// this — it consumes validityRoot directly and needs just the side
   /// clauses, not the CNF of the formula.
   bool emitCnf = true;
+  /// Optional worker pool for the CNF build: Tseitin clause emission is
+  /// sharded across workers and the transitivity chordalization runs one
+  /// comparison-graph component per worker. Output and stats are identical
+  /// to the nullptr (sequential) path for any worker count.
+  ThreadPool* pool = nullptr;
 };
 
 struct TranslationStats {

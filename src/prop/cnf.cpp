@@ -1,16 +1,32 @@
 #include "prop/cnf.hpp"
 
+#include <array>
+#include <exception>
+#include <future>
 #include <istream>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string>
 #include <unordered_map>
 
 #include "support/budget.hpp"
+#include "support/thread_pool.hpp"
 
 namespace velev::prop {
 
-Cnf tseitin(const PropCtx& cx, PLit root, bool negateRoot) {
+// Tseitin translation, in two passes so clause emission can be sharded
+// across a thread pool:
+//   pass 1 (sequential) — the postorder cone traversal; assigns every And
+//     node its auxiliary CNF variable in visit order and records the
+//     (v, a, b) literal triple. Variable numbering is therefore identical
+//     to the classic single-pass translation and independent of the pool.
+//   pass 2 — each recorded triple expands to the three v <-> a & b
+//     clauses. With a pool the triple list is cut into per-worker shards
+//     whose clause buffers are concatenated in shard order, so the clause
+//     list is byte-identical to the sequential emission for any worker
+//     count.
+Cnf tseitin(const PropCtx& cx, PLit root, bool negateRoot, ThreadPool* pool) {
   Cnf cnf;
   cnf.numVars = cx.numVars();
   if (negateRoot) root = negate(root);
@@ -37,15 +53,21 @@ Cnf tseitin(const PropCtx& cx, PLit root, bool negateRoot) {
   };
 
   // The CNF can dwarf the AIG it came from, so its growth is governed too:
-  // a separate byte-accounting slot tracks clause-storage bytes (literal
-  // payload plus per-clause vector overhead) on a strided checkpoint.
+  // a separate byte-accounting slot tracks projected clause-storage bytes
+  // (literal payload plus per-clause vector overhead) on a strided
+  // checkpoint. The projection is charged during pass 1, before the
+  // clauses are materialized, so a doomed translation trips early.
   BudgetGovernor* const governor = cx.budgetGovernor();
   const int budgetSource =
       governor != nullptr ? governor->registerSource() : -1;
   std::size_t clauseBytes = 0;
   std::uint32_t budgetTick = 0;
 
-  // Iterative postorder over And nodes.
+  // Pass 1: iterative postorder over And nodes.
+  struct Gate {
+    CnfLit v, a, b;
+  };
+  std::vector<Gate> gates;
   std::vector<std::uint32_t> stack = {nodeOf(root)};
   std::vector<char> seen;
   auto visited = [&](std::uint32_t n) -> char& {
@@ -66,12 +88,58 @@ Cnf tseitin(const PropCtx& cx, PLit root, bool negateRoot) {
     const PLit a = cx.andLeft(n), b = cx.andRight(n);
     const CnfLit lv = static_cast<CnfLit>(varFor(n));
     const CnfLit la = litFor(a), lb = litFor(b);
-    // v <-> a & b
-    cnf.addClause({-lv, la});
-    cnf.addClause({-lv, lb});
-    cnf.addClause({lv, -la, -lb});
+    gates.push_back(Gate{lv, la, lb});
     if (!cx.isVarNode(nodeOf(a))) stack.push_back(nodeOf(a));
     if (!cx.isVarNode(nodeOf(b))) stack.push_back(nodeOf(b));
+  }
+  if (governor != nullptr) governor->checkpoint(budgetSource, clauseBytes);
+
+  // Pass 2: clause emission, sharded when a pool is available and the
+  // formula is big enough for the fan-out to pay.
+  auto emit = [governor](const Gate* g, std::size_t count,
+                         std::vector<Clause>& out) {
+    out.reserve(count * 3);
+    for (std::size_t i = 0; i < count; ++i) {
+      const CnfLit lv = g[i].v, la = g[i].a, lb = g[i].b;
+      // v <-> a & b
+      out.push_back({-lv, la});
+      out.push_back({-lv, lb});
+      out.push_back({lv, -la, -lb});
+      // Bytes were projected in pass 1; this is a deadline-only poll.
+      if (governor != nullptr && (i & 0x3ffu) == 0x3ffu)
+        governor->checkpoint(-1, 0);
+    }
+  };
+  constexpr std::size_t kParallelThreshold = 4096;
+  const unsigned jobs =
+      pool != nullptr && gates.size() >= kParallelThreshold ? pool->size() : 1;
+  if (jobs <= 1) {
+    emit(gates.data(), gates.size(), cnf.clauses);
+  } else {
+    const std::size_t chunk = (gates.size() + jobs - 1) / jobs;
+    std::vector<std::vector<Clause>> shards(jobs);
+    std::mutex errMutex;
+    std::exception_ptr firstError;
+    std::vector<std::future<void>> futures;
+    for (unsigned w = 0; w < jobs; ++w) {
+      futures.push_back(pool->submit([&, w] {
+        const std::size_t lo = std::min(gates.size(), w * chunk);
+        const std::size_t hi = std::min(gates.size(), lo + chunk);
+        try {
+          emit(gates.data() + lo, hi - lo, shards[w]);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(errMutex);
+          if (!firstError) firstError = std::current_exception();
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+    if (firstError) std::rethrow_exception(firstError);
+    std::size_t total = 0;
+    for (const auto& s : shards) total += s.size();
+    cnf.clauses.reserve(total + 1);
+    for (auto& s : shards)
+      for (auto& c : s) cnf.clauses.push_back(std::move(c));
   }
   cnf.addClause({litFor(root)});
   return cnf;

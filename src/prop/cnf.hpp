@@ -12,6 +12,10 @@
 
 #include "prop/prop.hpp"
 
+namespace velev {
+class ThreadPool;
+}  // namespace velev
+
 namespace velev::prop {
 
 using CnfLit = std::int32_t;
@@ -35,8 +39,11 @@ struct Cnf {
 /// Tseitin-translate `root` (negated first if `negateRoot`) over `cx` into
 /// CNF: the result is satisfiable iff the (possibly negated) root is.
 /// Only the cone of `root` is translated. Auxiliary Tseitin variables are
-/// appended after the input variables.
-Cnf tseitin(const PropCtx& cx, PLit root, bool negateRoot);
+/// appended after the input variables. With a non-null `pool`, clause
+/// emission is sharded across its workers; the resulting CNF (variable
+/// numbering and clause order) is identical for any worker count.
+Cnf tseitin(const PropCtx& cx, PLit root, bool negateRoot,
+            ThreadPool* pool = nullptr);
 
 /// Write in DIMACS `p cnf` format.
 void writeDimacs(const Cnf& cnf, std::ostream& os);

@@ -9,22 +9,6 @@ using eufm::Context;
 using eufm::Expr;
 using eufm::Kind;
 
-std::vector<Expr> conjuncts(const Context& cx, Expr f) {
-  std::vector<Expr> out;
-  std::vector<Expr> stack = {f};
-  while (!stack.empty()) {
-    const Expr e = stack.back();
-    stack.pop_back();
-    if (cx.kind(e) == Kind::And) {
-      stack.push_back(cx.arg(e, 0));
-      stack.push_back(cx.arg(e, 1));
-    } else {
-      out.push_back(e);
-    }
-  }
-  return out;
-}
-
 bool impliesSyntactic(const Context& cx, Expr strong, Expr weak) {
   const auto strongSet = conjuncts(cx, strong);
   std::unordered_set<Expr> have(strongSet.begin(), strongSet.end());

@@ -15,8 +15,24 @@
 
 namespace velev::rewrite {
 
-/// Flatten nested ANDs into the set of non-AND conjuncts.
-std::vector<eufm::Expr> conjuncts(const eufm::Context& cx, eufm::Expr f);
+/// Flatten nested ANDs into the set of non-AND conjuncts. Templated on the
+/// context type so the slice checker can flatten against a ShadowContext.
+template <typename Cx>
+std::vector<eufm::Expr> conjuncts(const Cx& cx, eufm::Expr f) {
+  std::vector<eufm::Expr> out;
+  std::vector<eufm::Expr> stack = {f};
+  while (!stack.empty()) {
+    const eufm::Expr e = stack.back();
+    stack.pop_back();
+    if (cx.kind(e) == eufm::Kind::And) {
+      stack.push_back(cx.arg(e, 0));
+      stack.push_back(cx.arg(e, 1));
+    } else {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
 
 /// Sound syntactic implication: every conjunct of `weak` is a conjunct of
 /// `strong` (after flattening both).

@@ -1,12 +1,18 @@
 #include "rewrite/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
 #include <sstream>
+#include <vector>
 
+#include "eufm/shadow.hpp"
 #include "rewrite/contexts.hpp"
 #include "rewrite/subst.hpp"
 #include "rewrite/update_chain.hpp"
 #include "support/budget.hpp"
+#include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
 namespace velev::rewrite {
@@ -26,12 +32,31 @@ struct SliceMismatch {
   std::string what;
 };
 
+/// Rule applications fired while checking one slice. Accumulated into the
+/// engine-wide RewriteStats in slice order, so the totals are independent
+/// of how slices were scheduled across workers.
+struct SliceTally {
+  unsigned merges = 0;
+  unsigned forwarding = 0;
+};
+
+/// Result of checking one slice inside its private ShadowContext.
+struct SliceOutcome {
+  bool done = false;  // false = skipped past an earlier failing slice
+  bool ok = true;
+  unsigned slice = 0;  // 1-based when !ok
+  std::string message;
+  std::uint64_t nodes = 0;  // shadow-local scratch interned by the check
+  SliceTally tally;
+};
+
 class Engine {
  public:
   Engine(Context& cx, const models::Isa& isa,
-         const models::RobInitState& init, const models::OoOConfig& cfg)
+         const models::RobInitState& init, const models::OoOConfig& cfg,
+         ThreadPool* pool)
       : cx_(cx), isa_(isa), init_(init), n_(cfg.robSize),
-        k_(cfg.issueWidth) {}
+        k_(cfg.issueWidth), pool_(pool) {}
 
   RewriteResult run(Expr implRegFile, std::span<const Expr> specRegFile) {
     RewriteResult res;
@@ -48,24 +73,9 @@ class Engine {
         TRACE_SPAN("rewrite.movability");
         checkMovability();
       }
-      // One governor checkpoint per ROB slice. The expression building
-      // inside checkSliceData is already governed through cx_'s intern
-      // chokepoint; this adds a deterministic per-slice poll so a deadline
-      // trips between slices even when a slice interns nothing new. A
-      // BudgetExceeded deliberately propagates past the SliceMismatch
-      // handler below: budget exhaustion is not a rule mismatch.
       {
         TRACE_SPAN("rewrite.slices");
-        for (unsigned i = 0; i < n_; ++i) {
-          if (BudgetGovernor* gov = cx_.budgetGovernor())
-            gov->checkpoint(-1, 0);
-          const std::size_t nodesBefore = cx_.numNodes();
-          checkSliceData(i);
-          const std::uint64_t delta = cx_.numNodes() - nodesBefore;
-          stats_.sliceNodesTotal += delta;
-          stats_.sliceNodesMax = std::max(stats_.sliceNodesMax, delta);
-          ++stats_.slicesChecked;
-        }
+        runSlices();
       }
       {
         TRACE_SPAN("rewrite.rebuild");
@@ -83,7 +93,8 @@ class Engine {
   }
 
  private:
-  [[noreturn]] void fail(unsigned slice0 /*0-based*/, const std::string& what) {
+  [[noreturn]] static void fail(unsigned slice0 /*0-based*/,
+                                const std::string& what) {
     throw SliceMismatch{slice0 + 1, what};
   }
 
@@ -182,24 +193,125 @@ class Engine {
     }
   }
 
+  // ---- slice scheduling -------------------------------------------------------
+  // Every slice check runs inside a private ShadowContext overlay on the
+  // (frozen) main context: the scratch expressions a check interns — merged
+  // ITEs, case-split substitutions, candidate forwarding hits — are never
+  // reused by the rebuild, so they are hash-consed locally and discarded
+  // with the slice. That makes the checks embarrassingly parallel (the main
+  // context is only ever read) and keeps the main arena from growing by
+  // O(slices × slice-size) scratch.
+  //
+  // Determinism: each slice starts from an identical frozen base and runs
+  // an identical builder-call sequence, so its outcome, tally, and local
+  // node count do not depend on worker count or scheduling. Outcomes are
+  // reduced in slice order; on a mismatch the lowest failing slice wins and
+  // only the slices before it contribute to the stats — exactly the
+  // sequential semantics.
+  void runSlices() {
+    BudgetGovernor* gov = cx_.budgetGovernor();
+    std::vector<SliceOutcome> out(n_);
+    const unsigned jobs =
+        pool_ == nullptr ? 1u : std::min<unsigned>(pool_->size(), n_);
+    if (jobs <= 1) {
+      const int slot = gov != nullptr ? gov->registerSource() : -1;
+      for (unsigned i = 0; i < n_; ++i) {
+        checkSliceOutcome(i, gov, slot, out[i]);
+        if (!out[i].ok) break;  // fail fast; merge stops here anyway
+      }
+    } else {
+      TRACE_SPAN("rewrite.parallel.slices");
+      trace::counterSet("rewrite.parallel.jobs", jobs);
+      trace::counterAdd("rewrite.parallel.batches", 1);
+      std::atomic<unsigned> next{0};
+      // Lowest failing slice seen so far; slices above it are skipped (their
+      // outcomes are never consumed), slices below it are always processed.
+      std::atomic<unsigned> minFail{n_};
+      std::mutex errMutex;
+      std::exception_ptr firstError;
+      auto worker = [&] {
+        const int slot = gov != nullptr ? gov->registerSource() : -1;
+        try {
+          for (;;) {
+            const unsigned i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n_) break;
+            if (i > minFail.load(std::memory_order_relaxed)) continue;
+            checkSliceOutcome(i, gov, slot, out[i]);
+            if (!out[i].ok) {
+              unsigned cur = minFail.load(std::memory_order_relaxed);
+              while (i < cur &&
+                     !minFail.compare_exchange_weak(
+                         cur, i, std::memory_order_relaxed)) {
+              }
+            }
+          }
+        } catch (...) {
+          // BudgetExceeded (the trip is sticky, siblings stop at their next
+          // checkpoint) or an internal error: surface the first one.
+          std::lock_guard<std::mutex> lk(errMutex);
+          if (!firstError) firstError = std::current_exception();
+        }
+      };
+      std::vector<std::future<void>> futures;
+      futures.reserve(jobs);
+      for (unsigned w = 0; w < jobs; ++w) futures.push_back(pool_->submit(worker));
+      for (auto& f : futures) f.get();
+      if (firstError) std::rethrow_exception(firstError);
+    }
+    for (unsigned i = 0; i < n_; ++i) {
+      const SliceOutcome& o = out[i];
+      if (!o.done) break;  // only reachable past a recorded failure
+      if (!o.ok) throw SliceMismatch{o.slice, o.message};
+      stats_.sliceNodesTotal += o.nodes;
+      stats_.sliceNodesMax = std::max(stats_.sliceNodesMax, o.nodes);
+      stats_.mergesApplied += o.tally.merges;
+      stats_.forwardingMatches += o.tally.forwarding;
+      ++stats_.slicesChecked;
+    }
+  }
+
+  /// One slice, one shadow. BudgetExceeded propagates (budget exhaustion is
+  /// not a rule mismatch); a SliceMismatch is recorded in the outcome.
+  void checkSliceOutcome(unsigned i, BudgetGovernor* gov, int slot,
+                         SliceOutcome& o) {
+    if (gov != nullptr) gov->checkpoint(-1, 0);
+    eufm::ShadowContext scx(cx_, gov, slot);
+    o.done = true;
+    try {
+      checkSliceData(scx, i, o.tally);
+    } catch (const SliceMismatch& m) {
+      o.ok = false;
+      o.slice = m.slice;
+      o.message = m.what;
+    }
+    o.nodes = scx.localNodes();
+    // Zero this worker's slot: the shadow's scratch is freed with it.
+    if (gov != nullptr) gov->checkpoint(slot, 0);
+  }
+
   // ---- rule: data equality per slice -----------------------------------------
-  void checkSliceData(unsigned i) {
+  // Templated on the context type: checks run against a per-slice
+  // ShadowContext (or, in tests, directly against a Context). All node ids
+  // referenced from members (init_, retireCond_, update chains) are base
+  // ids and therefore valid in every shadow.
+  template <typename Cx>
+  void checkSliceData(Cx& cx, unsigned i, SliceTally& tally) const {
     // Merge the retire/completion updates (within the retire width) into a
     // single update under Valid_i with data ITE(retire_i, Result_i, ...).
     const Expr implData =
-        i < k_ ? cx_.mkIteT(retireCond_[i], init_.result[i], flushUpd(i).data)
+        i < k_ ? cx.mkIteT(retireCond_[i], init_.result[i], flushUpd(i).data)
                : flushUpd(i).data;
-    if (i < k_) ++stats_.mergesApplied;
+    if (i < k_) ++tally.merges;
     const Expr specData = specUpd(i).data;
 
     // Case 1: ValidResult_i = true — both sides must collapse to Result_i.
     {
       BoolAssumptions vr1{{init_.valid[i], true}, {init_.validResult[i], true}};
-      const Expr di = substituteShallow(cx_, implData, vr1);
+      const Expr di = substituteShallow(cx, implData, vr1);
       if (di != init_.result[i])
         fail(i, "implementation data does not collapse to Result_i when "
                 "ValidResult_i holds");
-      const Expr ds = substituteShallow(cx_, specData, vr1);
+      const Expr ds = substituteShallow(cx, specData, vr1);
       if (ds != init_.result[i])
         fail(i, "specification data does not collapse to Result_i when "
                 "ValidResult_i holds");
@@ -207,52 +319,55 @@ class Engine {
 
     // Case 2: ValidResult_i = false.
     BoolAssumptions vr0{{init_.valid[i], true}, {init_.validResult[i], false}};
-    const Expr di = substituteShallow(cx_, implData, vr0);
-    const Expr ds = substituteShallow(cx_, specData, vr0);
+    const Expr di = substituteShallow(cx, implData, vr0);
+    const Expr ds = substituteShallow(cx, specData, vr0);
 
     const Expr pPrefix = flushUpd(i).prev;               // P_i
     const Expr qPrefix = specUpd(i).prev;                // Q_i
     // Specification side: ALU(Op_i, read(Q_i, Src1_i), read(Q_i, Src2_i)).
-    if (ds != aluRead(i, qPrefix))
+    if (ds != aluRead(cx, i, qPrefix))
       fail(i, "specification data is not the expected ALU application over "
               "reads from the specification prefix state");
 
     // Implementation side: either the pure completion computation, or an
     // ITE between the regular-cycle execution and the completion.
-    if (di == aluRead(i, pPrefix)) return;  // rule 2.2 alone
-    if (cx_.kind(di) != Kind::IteT)
+    if (di == aluRead(cx, i, pPrefix)) return;  // rule 2.2 alone
+    if (cx.kind(di) != Kind::IteT)
       fail(i, "implementation data (ValidResult_i = false) has an "
               "unexpected shape");
-    const Expr execCond = cx_.arg(di, 0);
-    const Expr execData = cx_.arg(di, 1);
-    const Expr flushData = cx_.arg(di, 2);
-    if (flushData != aluRead(i, pPrefix))
+    const Expr execCond = cx.arg(di, 0);
+    const Expr execData = cx.arg(di, 1);
+    const Expr flushData = cx.arg(di, 2);
+    if (flushData != aluRead(cx, i, pPrefix))
       fail(i, "completion branch is not the expected ALU application over "
               "reads from the implementation prefix state (rule 2.2)");
-    checkExecBranch(i, execCond, execData);
+    checkExecBranch(cx, i, execCond, execData, tally);
   }
 
   /// ALU(Op_i, read(state, Src1_i), read(state, Src2_i)).
-  Expr aluRead(unsigned i, Expr state) {
-    return cx_.apply(isa_.alu,
-                     {init_.opcode[i], cx_.mkRead(state, init_.src1[i]),
-                      cx_.mkRead(state, init_.src2[i])});
+  template <typename Cx>
+  Expr aluRead(Cx& cx, unsigned i, Expr state) const {
+    return cx.apply(isa_.alu,
+                    {init_.opcode[i], cx.mkRead(state, init_.src1[i]),
+                     cx.mkRead(state, init_.src2[i])});
   }
 
   // Rule 2.1: the instruction executed during the single regular cycle; its
   // forwarded operands must match the specification-side reads whenever the
   // dependencies_ok conditions (conjuncts of the execute condition) hold.
-  void checkExecBranch(unsigned i, Expr execCond, Expr execData) {
-    if (cx_.kind(execData) != Kind::Uf ||
-        cx_.funcOf(execData) != isa_.alu ||
-        cx_.arg(execData, 0) != init_.opcode[i])
+  template <typename Cx>
+  void checkExecBranch(Cx& cx, unsigned i, Expr execCond, Expr execData,
+                       SliceTally& tally) const {
+    if (cx.kind(execData) != Kind::Uf ||
+        cx.funcOf(execData) != isa_.alu ||
+        cx.arg(execData, 0) != init_.opcode[i])
       fail(i, "regular-cycle execution result is not an ALU application "
               "on Opcode_i");
-    const auto conj = conjuncts(cx_, execCond);
+    const auto conj = conjuncts(cx, execCond);
     for (unsigned o = 0; o < 2; ++o) {
       const Expr src = o == 0 ? init_.src1[i] : init_.src2[i];
-      const Expr fwd = cx_.arg(execData, o + 1);
-      if (!operandJustified(i, fwd, src, conj))
+      const Expr fwd = cx.arg(execData, o + 1);
+      if (!operandJustified(cx, i, fwd, src, conj, tally))
         fail(i, "forwarded operand " + std::to_string(o + 1) +
                     " cannot be matched against the specification-side "
                     "read (rule 2.1)");
@@ -261,15 +376,17 @@ class Engine {
 
   // Does some conjunct of the execute condition justify fwd == read(Q_i,
   // src)? The base case (no preceding writer consulted) needs no condition.
-  bool operandJustified(unsigned i, Expr fwd, Expr src,
-                        const std::vector<Expr>& conj) {
-    if (matchForwarding(i, fwd, kNoExpr, src)) {
-      ++stats_.forwardingMatches;
+  template <typename Cx>
+  bool operandJustified(Cx& cx, unsigned i, Expr fwd, Expr src,
+                        const std::vector<Expr>& conj,
+                        SliceTally& tally) const {
+    if (matchForwarding(cx, i, fwd, kNoExpr, src)) {
+      ++tally.forwarding;
       return true;
     }
     for (Expr c : conj)
-      if (matchForwarding(i, fwd, c, src)) {
-        ++stats_.forwardingMatches;
+      if (matchForwarding(cx, i, fwd, c, src)) {
+        ++tally.forwarding;
         return true;
       }
     return false;
@@ -284,33 +401,35 @@ class Engine {
   // and the specification data written at level j must collapse to Result_j
   // under ValidResult_j — which `ok` guarantees exactly when the forwarding
   // selects level j. `ok == kNoExpr` requires the chain to be hit-free.
-  bool matchForwarding(unsigned i, Expr fwd, Expr ok, Expr src) {
+  template <typename Cx>
+  bool matchForwarding(Cx& cx, unsigned i, Expr fwd, Expr ok,
+                       Expr src) const {
     for (unsigned level = i; level-- > 0;) {
       const Expr hit =
-          cx_.mkAnd(init_.valid[level], cx_.mkEq(init_.dest[level], src));
-      if (cx_.kind(fwd) != Kind::IteT || cx_.arg(fwd, 0) != hit ||
-          cx_.arg(fwd, 1) != init_.result[level])
+          cx.mkAnd(init_.valid[level], cx.mkEq(init_.dest[level], src));
+      if (cx.kind(fwd) != Kind::IteT || cx.arg(fwd, 0) != hit ||
+          cx.arg(fwd, 1) != init_.result[level])
         return false;
-      fwd = cx_.arg(fwd, 2);
+      fwd = cx.arg(fwd, 2);
       // Peel the availability chain.
       if (ok == kNoExpr) return false;
-      if (cx_.kind(ok) == Kind::IteF && cx_.arg(ok, 0) == hit &&
-          cx_.arg(ok, 1) == init_.validResult[level]) {
-        ok = cx_.arg(ok, 2);
-      } else if (ok == cx_.mkOr(cx_.mkNot(hit), init_.validResult[level])) {
-        ok = cx_.mkTrue();  // folded innermost level: ITE(hit, VR, true)
+      if (cx.kind(ok) == Kind::IteF && cx.arg(ok, 0) == hit &&
+          cx.arg(ok, 1) == init_.validResult[level]) {
+        ok = cx.arg(ok, 2);
+      } else if (ok == cx.mkOr(cx.mkNot(hit), init_.validResult[level])) {
+        ok = cx.mkTrue();  // folded innermost level: ITE(hit, VR, true)
       } else {
         return false;
       }
       // The specification write at this level must provide Result_level
       // when its result was available.
       BoolAssumptions vr1{{init_.validResult[level], true}};
-      if (substituteShallow(cx_, specUpd(level).data, vr1) !=
+      if (substituteShallow(cx, specUpd(level).data, vr1) !=
           init_.result[level])
         return false;
     }
-    return fwd == cx_.mkRead(init_.regFile, src) &&
-           (ok == kNoExpr || ok == cx_.mkTrue());
+    return fwd == cx.mkRead(init_.regFile, src) &&
+           (ok == kNoExpr || ok == cx.mkTrue());
   }
 
   // ---- removal and reconstruction (Fig. 2.b) ----------------------------------
@@ -347,6 +466,7 @@ class Engine {
   const models::RobInitState& init_;
   const unsigned n_;
   const unsigned k_;
+  ThreadPool* pool_;
 
   UpdateChain impl_;
   UpdateChain spec0_;
@@ -361,8 +481,9 @@ RewriteResult rewriteRobUpdates(Context& cx, const models::Isa& isa,
                                 const models::RobInitState& init,
                                 const models::OoOConfig& cfg,
                                 Expr implRegFile,
-                                std::span<const Expr> specRegFile) {
-  Engine engine(cx, isa, init, cfg);
+                                std::span<const Expr> specRegFile,
+                                ThreadPool* pool) {
+  Engine engine(cx, isa, init, cfg, pool);
   return engine.run(implRegFile, specRegFile);
 }
 

@@ -44,6 +44,10 @@
 #include "models/isa.hpp"
 #include "models/ooo.hpp"
 
+namespace velev {
+class ThreadPool;
+}  // namespace velev
+
 namespace velev::rewrite {
 
 /// Rewrite-engine work counters — the quantities of the paper's Table 5
@@ -84,10 +88,16 @@ struct RewriteResult {
 /// Register File after one regular cycle plus flushing; `specRegFile[m]` is
 /// the specification-side state after flushing the initial state and running
 /// m specification steps (m = 0..issueWidth).
+///
+/// Each slice check runs in a private eufm::ShadowContext over the frozen
+/// main context; with a non-null `pool` the slices are checked in parallel
+/// across its workers. Results and stats are identical for any worker count
+/// (including the sequential pool == nullptr path).
 RewriteResult rewriteRobUpdates(eufm::Context& cx, const models::Isa& isa,
                                 const models::RobInitState& init,
                                 const models::OoOConfig& cfg,
                                 eufm::Expr implRegFile,
-                                std::span<const eufm::Expr> specRegFile);
+                                std::span<const eufm::Expr> specRegFile,
+                                ThreadPool* pool = nullptr);
 
 }  // namespace velev::rewrite

@@ -1,107 +1,16 @@
 #include "rewrite/subst.hpp"
 
-#include <vector>
-
 namespace velev::rewrite {
 
 using eufm::Context;
 using eufm::Expr;
-using eufm::Kind;
-
-namespace {
-
-// Iterative postorder rebuild. Memory arguments of read/write are not
-// traversed; they are transformed atomically by `memArg` (identity by
-// default), which keeps the cost proportional to the data expression, not
-// to the prefix memory states it reads from.
-template <typename LeafFn, typename MemFn>
-Expr rebuildFiltered(Context& cx, Expr root, LeafFn&& leaf, MemFn&& memArg) {
-  std::unordered_map<Expr, Expr> map;
-  std::vector<std::pair<Expr, bool>> stack = {{root, false}};
-  while (!stack.empty()) {
-    auto [e, expanded] = stack.back();
-    stack.pop_back();
-    if (map.count(e)) continue;
-    if (!expanded) {
-      const Expr direct = leaf(e);
-      if (direct != eufm::kNoExpr) {
-        map.emplace(e, direct);
-        continue;
-      }
-      stack.emplace_back(e, true);
-      const Kind k = cx.kind(e);
-      const auto args = cx.args(e);
-      for (std::size_t i = 0; i < args.size(); ++i) {
-        if ((k == Kind::Read || k == Kind::Write) && i == 0) continue;
-        if (!map.count(args[i])) stack.emplace_back(args[i], false);
-      }
-      continue;
-    }
-    auto m = [&](unsigned i) { return map.at(cx.arg(e, i)); };
-    Expr r = eufm::kNoExpr;
-    switch (cx.kind(e)) {
-      case Kind::Not: r = cx.mkNot(m(0)); break;
-      case Kind::And: r = cx.mkAnd(m(0), m(1)); break;
-      case Kind::Or: r = cx.mkOr(m(0), m(1)); break;
-      case Kind::IteF: r = cx.mkIteF(m(0), m(1), m(2)); break;
-      case Kind::IteT: r = cx.mkIteT(m(0), m(1), m(2)); break;
-      case Kind::Eq: r = cx.mkEq(m(0), m(1)); break;
-      case Kind::Up:
-      case Kind::Uf: {
-        std::vector<Expr> args;
-        for (Expr a : cx.args(e)) args.push_back(map.at(a));
-        r = cx.apply(cx.funcOf(e), args);
-        break;
-      }
-      case Kind::Read:
-        r = cx.mkRead(memArg(cx.arg(e, 0)), m(1));
-        break;
-      case Kind::Write:
-        r = cx.mkWrite(memArg(cx.arg(e, 0)), m(1), m(2));
-        break;
-      default:
-        VELEV_UNREACHABLE("unhandled kind in rebuild");
-    }
-    map.emplace(e, r);
-  }
-  return map.at(root);
-}
-
-Expr keepLeaves(const Context& cx, Expr e) {
-  switch (cx.kind(e)) {
-    case Kind::True:
-    case Kind::False:
-    case Kind::TermVar:
-    case Kind::BoolVar:
-      return e;
-    default:
-      return eufm::kNoExpr;  // recurse
-  }
-}
-
-}  // namespace
-
-Expr substituteShallow(Context& cx, Expr root, const BoolAssumptions& assume) {
-  return rebuildFiltered(
-      cx, root,
-      [&](Expr e) -> Expr {
-        if (cx.kind(e) == Kind::BoolVar) {
-          auto it = assume.find(e);
-          if (it != assume.end())
-            return it->second ? cx.mkTrue() : cx.mkFalse();
-          return e;
-        }
-        return keepLeaves(cx, e);
-      },
-      [](Expr mem) { return mem; });
-}
 
 Expr substituteMem(Context& cx, Expr root, Expr from, Expr to) {
-  return rebuildFiltered(
+  return detail::rebuildFiltered(
       cx, root,
       [&](Expr e) -> Expr {
         if (e == from) return to;
-        return keepLeaves(cx, e);
+        return detail::keepLeaves(cx, e);
       },
       [&](Expr mem) { return mem == from ? to : mem; });
 }

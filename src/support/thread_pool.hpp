@@ -1,5 +1,7 @@
-// Work-stealing thread pool for the parallel verification paths (the grid
-// runner in core/ and the SAT seed portfolio in sat/).
+// Work-stealing thread pool for the parallel verification paths: the grid
+// runner in core/, the SAT seed portfolio in sat/, and the intra-cell
+// stages (rewrite slice loop in rewrite/, sharded Tseitin emission in
+// prop/, component-parallel transitivity in evc/).
 //
 // Design:
 //   * a fixed number of workers, each with its own deque: the owner pushes
@@ -18,6 +20,12 @@
 // hash-consed with unsynchronized tables and must be owned by exactly one
 // task. Parallel verification therefore builds ONE context PER CELL inside
 // the worker task; contexts are never shared or interned across threads.
+// The one sanctioned exception is intra-cell parallelism
+// (VerifyOptions::jobs / GridRunOptions::cellJobs): while the cell's
+// context is FROZEN — nothing interning into it — pool workers may read it
+// concurrently through per-worker eufm::ShadowContext overlays, which
+// hash-cons their scratch locally. "One owner" generalizes to "one frozen
+// base, many read-only overlays"; see docs/SCALING.md.
 #pragma once
 
 #include <atomic>

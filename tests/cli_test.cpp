@@ -227,6 +227,66 @@ TEST(Cli, SinglePortfolioVerdictMatchesSequential) {
   EXPECT_EQ(par.exitCode, 0) << par.output;
 }
 
+TEST(Cli, CellJobsVerdictsIdenticalToSequential) {
+  // --cell-jobs parallelizes INSIDE each verification; verdicts must not
+  // move, in either single or grid mode.
+  const CliResult single = runCli("--size 8 --width 2 --cell-jobs 4 --quiet");
+  EXPECT_EQ(single.exitCode, 0) << single.output;
+  EXPECT_NE(single.output.find("verdict: CORRECT"), std::string::npos)
+      << single.output;
+
+  const std::string grid = "--grid 'sizes=3,4;widths=1,2' --quiet";
+  const CliResult seq = runCli(grid);
+  const CliResult par = runCli(grid + " --cell-jobs 3");
+  EXPECT_EQ(seq.exitCode, 0) << seq.output;
+  EXPECT_EQ(par.exitCode, 0) << par.output;
+  EXPECT_EQ(verdictLines(par.output), verdictLines(seq.output));
+}
+
+TEST(Cli, GridCheckpointResumeRestoresFinishedCells) {
+  const std::string ckpt = tmpPath("cli_resume.checkpoint.json");
+  std::remove(ckpt.c_str());
+  const std::string grid = "--grid 'sizes=2,3;widths=1' --quiet";
+
+  const CliResult first = runCli(grid + " --checkpoint " + ckpt);
+  EXPECT_EQ(first.exitCode, 0) << first.output;
+  EXPECT_EQ(first.output.find("restored from checkpoint"), std::string::npos)
+      << first.output;
+
+  // The checkpoint file is versioned JSON with one record per cell.
+  std::ifstream in(ckpt);
+  ASSERT_TRUE(in.good()) << ckpt;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  const auto doc = parseJson(ss.str(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->uintAt("version"), 1u);
+  const JsonValue* cells = doc->find("cells");
+  ASSERT_NE(cells, nullptr);
+  EXPECT_EQ(cells->array.size(), 2u);
+
+  // Resuming re-verifies nothing: both cells come back restored, with the
+  // same verdict lines as the fresh run.
+  const CliResult second = runCli(grid + " --checkpoint " + ckpt + " --resume");
+  EXPECT_EQ(second.exitCode, 0) << second.output;
+  EXPECT_NE(second.output.find("cell 2x1: restored from checkpoint"),
+            std::string::npos)
+      << second.output;
+  EXPECT_NE(second.output.find("cell 3x1: restored from checkpoint"),
+            std::string::npos)
+      << second.output;
+  std::remove(ckpt.c_str());
+}
+
+TEST(Cli, CheckpointUsageErrors) {
+  EXPECT_EQ(runCli("--grid 4x2 --resume").exitCode, 2);  // needs --checkpoint
+  const std::string ckpt = tmpPath("cli_usage.checkpoint.json");
+  // --checkpoint is a grid-mode flag.
+  EXPECT_EQ(runCli("--size 4 --width 2 --checkpoint " + ckpt).exitCode, 2);
+  EXPECT_EQ(runCli("--size 4 --width 2 --cell-jobs 0").exitCode, 2);
+}
+
 TEST(Cli, GridWithInjectedBugExitsOneEverywhere) {
   const CliResult r = runCli("--grid 4x2,8x2 --bug fwd:2 --jobs 2 --quiet");
   EXPECT_EQ(r.exitCode, 1) << r.output;

@@ -6,12 +6,26 @@
 // one for the release it survives.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/grid_runner.hpp"
 
 namespace velev::core {
 namespace {
+
+/// Fresh checkpoint path under the system temp dir; removed up front so a
+/// crashed previous run cannot leak records into this one.
+std::string checkpointPath(const char* name) {
+  const std::string p =
+      (std::filesystem::temp_directory_path() /
+       (std::string("velev_grid_test_") + name + ".checkpoint.json"))
+          .string();
+  std::filesystem::remove(p);
+  return p;
+}
 
 TEST(Grid, MakeGridDropsImpossibleCells) {
   const std::vector<unsigned> sizes = {2, 4};
@@ -177,6 +191,165 @@ TEST(Grid, IncrementalSessionCatchesInjectedBug) {
   EXPECT_EQ(results[0].report.verdict(), Verdict::Correct);
   EXPECT_EQ(results[1].report.verdict(), Verdict::RewriteMismatch);
   EXPECT_EQ(results[2].report.verdict(), Verdict::Correct);
+}
+
+TEST(Grid, CheckpointResumeRestoresEveryFinishedCell) {
+  // Round trip: a full sweep with a checkpoint, then the same sweep with
+  // --resume, must restore every cell — same verdict and the exact
+  // paper-aligned counter set (reportCounters is the flatten,
+  // checkpoint restore is its inverse).
+  const auto cells = makeGridRequests(std::vector<unsigned>{2, 3},
+                                      std::vector<unsigned>{1, 2});
+  const std::string path = checkpointPath("roundtrip");
+
+  GridRunOptions first;
+  first.checkpointPath = path;
+  const auto baseline = runGrid(cells, first);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  GridRunOptions second;
+  second.checkpointPath = path;
+  second.resume = true;
+  const auto resumed = runGrid(cells, second);
+
+  ASSERT_EQ(resumed.size(), baseline.size());
+  for (std::size_t i = 0; i < resumed.size(); ++i) {
+    EXPECT_FALSE(baseline[i].restored) << "cell " << i;
+    EXPECT_TRUE(resumed[i].restored) << "cell " << i;
+    EXPECT_EQ(resumed[i].cell.robSize, cells[i].robSize);
+    EXPECT_EQ(resumed[i].report.verdict(), baseline[i].report.verdict());
+    EXPECT_EQ(reportCounters(resumed[i].report),
+              reportCounters(baseline[i].report))
+        << "cell " << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Grid, ResumeVerifiesOnlyUnfinishedCells) {
+  // A killed sweep leaves a prefix in the checkpoint; resuming over the
+  // full request list must restore exactly that prefix and verify the
+  // rest. Records are keyed by the request's content (cacheKey), not by
+  // grid position — the resumed list is deliberately reversed to prove
+  // it.
+  const auto cells = makeGridRequests(std::vector<unsigned>{2, 3, 4},
+                                      std::vector<unsigned>{1});
+  ASSERT_EQ(cells.size(), 3u);
+  const std::string path = checkpointPath("prefix");
+
+  const std::vector<VerifyRequest> prefix(cells.begin(), cells.begin() + 2);
+  GridRunOptions first;
+  first.checkpointPath = path;
+  runGrid(prefix, first);
+
+  std::vector<VerifyRequest> reversed(cells.rbegin(), cells.rend());
+  GridRunOptions second;
+  second.checkpointPath = path;
+  second.resume = true;
+  const auto full = runGrid(reversed, second);
+
+  ASSERT_EQ(full.size(), 3u);
+  EXPECT_FALSE(full[0].restored);  // ROB 4: never checkpointed
+  EXPECT_TRUE(full[1].restored);   // ROB 3
+  EXPECT_TRUE(full[2].restored);   // ROB 2
+  for (const GridCellResult& r : full)
+    EXPECT_EQ(r.report.verdict(), Verdict::Correct);
+  std::filesystem::remove(path);
+}
+
+TEST(Grid, CheckpointRestoresInjectedBugVerdict) {
+  // Failure verdicts are results too: a RewriteMismatch recorded in the
+  // checkpoint comes back with its failed slice, not as a re-run.
+  std::vector<VerifyRequest> cells =
+      makeGridRequests(std::vector<unsigned>{4}, std::vector<unsigned>{2});
+  cells[0].bug.kind = models::BugKind::ForwardingWrongOperand;
+  cells[0].bug.index = 2;
+  const std::string path = checkpointPath("bug");
+
+  GridRunOptions opts;
+  opts.checkpointPath = path;
+  runGrid(cells, opts);
+
+  opts.resume = true;
+  const auto resumed = runGrid(cells, opts);
+  ASSERT_EQ(resumed.size(), 1u);
+  EXPECT_TRUE(resumed[0].restored);
+  EXPECT_EQ(resumed[0].report.verdict(), Verdict::RewriteMismatch);
+  EXPECT_EQ(resumed[0].report.outcome.failedSlice, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(Grid, CheckpointWithoutResumeRerunsEveryCell) {
+  // checkpointPath alone only *writes*; restoring is opt-in via resume,
+  // so a deliberate re-verification is still possible.
+  const auto cells =
+      makeGridRequests(std::vector<unsigned>{2}, std::vector<unsigned>{1});
+  const std::string path = checkpointPath("noresume");
+
+  GridRunOptions opts;
+  opts.checkpointPath = path;
+  runGrid(cells, opts);
+  const auto again = runGrid(cells, opts);  // resume still false
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_FALSE(again[0].restored);
+  EXPECT_EQ(again[0].report.verdict(), Verdict::Correct);
+  std::filesystem::remove(path);
+}
+
+TEST(Grid, ChangedRequestIsNotRestored) {
+  // The checkpoint key hashes the whole request: the same grid cell under
+  // a different strategy is a different verification and must re-run.
+  std::vector<VerifyRequest> cells =
+      makeGridRequests(std::vector<unsigned>{3}, std::vector<unsigned>{1});
+  const std::string path = checkpointPath("changed");
+
+  GridRunOptions opts;
+  opts.checkpointPath = path;
+  runGrid(cells, opts);
+
+  cells[0].strategy = Strategy::PositiveEqualityOnly;
+  opts.resume = true;
+  const auto resumed = runGrid(cells, opts);
+  ASSERT_EQ(resumed.size(), 1u);
+  EXPECT_FALSE(resumed[0].restored);
+  EXPECT_EQ(resumed[0].report.verdict(), Verdict::Correct);
+  std::filesystem::remove(path);
+}
+
+TEST(Grid, CorruptCheckpointDegradesToFullRun) {
+  // A truncated, malformed, or future-versioned checkpoint must never
+  // fail the sweep — it degrades to a full re-run (and is then
+  // overwritten with good records).
+  const auto cells =
+      makeGridRequests(std::vector<unsigned>{2}, std::vector<unsigned>{1});
+  for (const char* body :
+       {"not json at all", "{\"version\": 99, \"cells\": []}",
+        "{\"version\": 1, \"cells\": \"oops\"}"}) {
+    const std::string path = checkpointPath("corrupt");
+    std::ofstream(path) << body;
+    GridRunOptions opts;
+    opts.checkpointPath = path;
+    opts.resume = true;
+    const auto results = runGrid(cells, opts);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].restored) << body;
+    EXPECT_EQ(results[0].report.verdict(), Verdict::Correct);
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(Grid, ResumeWithMissingCheckpointIsFreshRun) {
+  const auto cells =
+      makeGridRequests(std::vector<unsigned>{2}, std::vector<unsigned>{1});
+  const std::string path = checkpointPath("missing");  // removed, never made
+  GridRunOptions opts;
+  opts.checkpointPath = path;
+  opts.resume = true;
+  const auto results = runGrid(cells, opts);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].restored);
+  EXPECT_EQ(results[0].report.verdict(), Verdict::Correct);
+  EXPECT_TRUE(std::filesystem::exists(path));  // fresh records were written
+  std::filesystem::remove(path);
 }
 
 TEST(Grid, EmptyGridIsFine) {

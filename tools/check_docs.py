@@ -7,6 +7,10 @@
    checked for the path part only.
 2. docs/ARCHITECTURE.md must mention every subdirectory of src/ — the
    architecture tour may not silently fall behind the code layout.
+3. Every `BENCH_<name>.json` producer in bench/ (a `JsonReport("<name>")`
+   construction) must be documented in EXPERIMENTS.md by its literal
+   output filename — a new bench may not land without its experiments
+   section. `<name>_no_inprocess` variants count as their base name.
 
 Exits non-zero with one line per problem.
 """
@@ -55,6 +59,35 @@ def check_architecture_coverage(errors):
             errors.append(f"docs/ARCHITECTURE.md: no section mentions src/{sub}")
 
 
+# `JsonReport("name")` / `JsonReport(cond ? "a" : "b", jobs)` constructions;
+# DOTALL because the argument list may wrap across lines. Declarations taking
+# a JsonReport& parameter contain no string literal and never match.
+JSON_REPORT_RE = re.compile(r'JsonReport\s+\w+\s*\(([^;]*?)\)\s*;', re.DOTALL)
+NAME_RE = re.compile(r'"([a-z0-9_]+)"')
+
+
+def check_bench_coverage(errors):
+    experiments = REPO / "EXPERIMENTS.md"
+    bench = REPO / "bench"
+    if not bench.is_dir():
+        return
+    if not experiments.is_file():
+        errors.append("EXPERIMENTS.md is missing")
+        return
+    text = experiments.read_text(encoding="utf-8")
+    for src in sorted(bench.glob("*.cpp")):
+        names = set()
+        for ctor in JSON_REPORT_RE.finditer(src.read_text(encoding="utf-8")):
+            names.update(NAME_RE.findall(ctor.group(1)))
+        for name in sorted(names):
+            base = name.removesuffix("_no_inprocess")
+            if f"BENCH_{base}.json" not in text:
+                errors.append(
+                    f"{src.relative_to(REPO)}: writes BENCH_{base}.json but "
+                    f"EXPERIMENTS.md never mentions it"
+                )
+
+
 def main():
     errors = []
     files = doc_files()
@@ -63,6 +96,7 @@ def main():
     for f in files:
         check_links(f, errors)
     check_architecture_coverage(errors)
+    check_bench_coverage(errors)
     if errors:
         for e in errors:
             print(f"check_docs: {e}", file=sys.stderr)
