@@ -4,7 +4,7 @@
 // injections, UF-scheme and simulation variants), from several client
 // threads at once — the serving path minus the socket.
 //
-// Three checks gate the exit code:
+// Four checks gate the exit code:
 //   * pass 1 measures cold throughput and per-request latency percentiles
 //     (most requests hit or coalesce; every distinct cell is verified
 //     exactly once);
@@ -14,13 +14,22 @@
 //     counter block must match exactly (a cache that changes answers is
 //     worse than no cache);
 //   * pass 2 replays the identical stream and must be served >= 90% from
-//     the cache.
-// Any failed check exits 1. Results land in BENCH_serve.json: one cell per
-// distinct pool request (the standard ReportCell schema) plus throughput,
-// latency and hit-rate notes.
+//     the cache;
+//   * pass 3 restarts the server (a NEW VerifyServer over the same
+//     --cache-dir journal) and replays the stream again: >= 90% must be
+//     served warm from the persisted cache, with every answer still
+//     identical to the fresh verification of pass 1.
+// Every pass also gates on ZERO error responses: a request answered with
+// an InternalError (or any error) fails the bench even if throughput and
+// hit rates look fine — the retry machinery exists so clients never see
+// one. Any failed check exits 1. Results land in BENCH_serve.json: one
+// cell per distinct pool request (the standard ReportCell schema) plus
+// throughput, latency and hit-rate notes.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -118,14 +127,18 @@ double percentileMs(std::vector<double>& sortedSeconds, double p) {
 }
 
 /// One replay pass: `clients` threads round-robin the draw sequence
-/// through handleLine, recording per-request wall seconds. Returns all
-/// latencies (unsorted).
+/// through handleLine, recording per-request wall seconds. Error responses
+/// are COUNTED (into *errorResponses), not short-circuited — the zero-error
+/// gate wants the total, and a lost request must not hide behind an early
+/// return. Returns all latencies (unsorted).
 std::vector<double> replay(serve::VerifyServer& server,
                            const std::vector<core::VerifyRequest>& pool,
                            const std::vector<std::size_t>& draws,
-                           unsigned clients, bool* ok) {
+                           unsigned clients, std::size_t* errorResponses,
+                           bool* ok) {
   std::vector<std::vector<double>> perThread(clients);
-  std::vector<std::string> errors(clients);
+  std::vector<std::size_t> perThreadErrors(clients, 0);
+  std::vector<std::string> firstError(clients);
   std::vector<std::thread> threads;
   for (unsigned t = 0; t < clients; ++t)
     threads.emplace_back([&, t] {
@@ -139,17 +152,13 @@ std::vector<double> replay(serve::VerifyServer& server,
         perThread[t].push_back(timer.seconds());
         std::string perr;
         const auto resp = core::VerifyResponse::parse(line, &perr);
-        if (!resp.has_value()) {
-          errors[t] = "unparsable response: " + perr;
-          return;
-        }
-        if (!resp->error.empty()) {
-          errors[t] = "server error: " + resp->error;
-          return;
-        }
-        if (resp->id != i + 1) {
-          errors[t] = "response id mismatch";
-          return;
+        std::string why;
+        if (!resp.has_value()) why = "unparsable response: " + perr;
+        else if (!resp->error.empty()) why = "server error: " + resp->error;
+        else if (resp->id != i + 1) why = "response id mismatch";
+        if (!why.empty()) {
+          ++perThreadErrors[t];
+          if (firstError[t].empty()) firstError[t] = why;
         }
       }
     });
@@ -157,11 +166,21 @@ std::vector<double> replay(serve::VerifyServer& server,
   std::vector<double> latencies;
   for (const auto& v : perThread)
     latencies.insert(latencies.end(), v.begin(), v.end());
-  for (const auto& e : errors)
-    if (!e.empty()) {
-      std::fprintf(stderr, "replay FAILED: %s\n", e.c_str());
-      *ok = false;
-    }
+  std::size_t total = 0;
+  for (unsigned t = 0; t < clients; ++t) {
+    total += perThreadErrors[t];
+    if (!firstError[t].empty())
+      std::fprintf(stderr, "replay client %u: %zu bad responses (first: %s)\n",
+                   t, perThreadErrors[t], firstError[t].c_str());
+  }
+  if (errorResponses != nullptr) *errorResponses = total;
+  if (total > 0) {
+    std::fprintf(stderr,
+                 "zero-error gate FAILED: %zu of %zu requests answered with "
+                 "an error\n",
+                 total, draws.size());
+    *ok = false;
+  }
   return latencies;
 }
 
@@ -181,18 +200,26 @@ int main(int argc, char** argv) {
               "%u clients, %u jobs\n",
               kRequests, pool.size(), clients, jobs);
 
+  // The persistent-cache journal lives in a scratch directory under the
+  // working directory; a fresh run never inherits a previous journal.
+  const std::string cacheDir = "serve_replay_cache";
+  std::filesystem::remove_all(cacheDir);
+
   serve::ServerOptions opts;
   opts.jobs = jobs;
-  serve::VerifyServer server(opts);
+  opts.cacheDir = cacheDir;
+  auto server = std::make_unique<serve::VerifyServer>(opts);
   bench::JsonReport json("serve", jobs);
   bool ok = true;
 
   // ---- pass 1: cold cache --------------------------------------------------
   const Timer pass1Timer;
-  std::vector<double> latencies = replay(server, pool, draws, clients, &ok);
+  std::size_t pass1Errors = 0;
+  std::vector<double> latencies =
+      replay(*server, pool, draws, clients, &pass1Errors, &ok);
   const double pass1Wall = pass1Timer.seconds();
   std::sort(latencies.begin(), latencies.end());
-  const auto cold = server.cacheStats();
+  const auto cold = server->cacheStats();
   std::printf("pass 1 (cold): %.2f s, %.0f req/s | p50 %.2f ms  p90 %.2f ms "
               "p99 %.2f ms | %llu misses, %llu hits, %llu coalesced\n",
               pass1Wall, static_cast<double>(kRequests) / pass1Wall,
@@ -203,13 +230,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cold.coalesced));
 
   // ---- equivalence: cached answers vs fresh in-process verification --------
+  // The fresh answers are kept: pass 3 re-checks the journal-restored cache
+  // against them without verifying everything a second time.
+  std::vector<core::Verdict> freshVerdicts(pool.size());
+  std::vector<std::vector<std::pair<std::string, std::uint64_t>>>
+      freshCounters(pool.size());
   std::size_t mismatches = 0;
   for (std::size_t i = 0; i < pool.size(); ++i) {
     core::VerifyRequest req = pool[i];
     req.id = 100000 + i;
     std::string perr;
     const auto resp = core::VerifyResponse::parse(
-        server.handleLine(compactJson(req.toJson())), &perr);
+        server->handleLine(compactJson(req.toJson())), &perr);
     if (!resp.has_value() || !resp->error.empty()) {
       std::fprintf(stderr, "equivalence cell %zu: no answer (%s%s)\n", i,
                    perr.c_str(), resp ? resp->error.c_str() : "");
@@ -219,6 +251,8 @@ int main(int argc, char** argv) {
     const Timer freshTimer;
     const core::VerifyReport rep = core::verify(req);
     const double freshWall = freshTimer.seconds();
+    freshVerdicts[i] = rep.verdict();
+    freshCounters[i] = core::reportCounters(rep);
     if (resp->verdict != rep.verdict() ||
         resp->counters != core::reportCounters(rep)) {
       std::fprintf(stderr,
@@ -251,12 +285,14 @@ int main(int argc, char** argv) {
   }
 
   // ---- pass 2: warm cache — must be served from it -------------------------
-  const auto before = server.cacheStats();
+  const auto before = server->cacheStats();
   const Timer pass2Timer;
-  std::vector<double> warmLat = replay(server, pool, draws, clients, &ok);
+  std::size_t pass2Errors = 0;
+  std::vector<double> warmLat =
+      replay(*server, pool, draws, clients, &pass2Errors, &ok);
   const double pass2Wall = pass2Timer.seconds();
   std::sort(warmLat.begin(), warmLat.end());
-  const auto after = server.cacheStats();
+  const auto after = server->cacheStats();
   const double hitRate =
       static_cast<double>(after.hits - before.hits) /
       static_cast<double>(kRequests);
@@ -271,6 +307,64 @@ int main(int argc, char** argv) {
                  "cache (>= 90%% required)\n",
                  hitRate * 100.0);
     ok = false;
+  }
+
+  // ---- pass 3: warm RESTART — the journal must carry the warm set ----------
+  server->stop();
+  server.reset();  // the old daemon is gone; only the journal survives
+  server = std::make_unique<serve::VerifyServer>(opts);
+  const std::uint64_t restored =
+      server->collector().counter("serve.journal.restored");
+  const Timer pass3Timer;
+  std::size_t pass3Errors = 0;
+  std::vector<double> restartLat =
+      replay(*server, pool, draws, clients, &pass3Errors, &ok);
+  const double pass3Wall = pass3Timer.seconds();
+  std::sort(restartLat.begin(), restartLat.end());
+  const auto restart = server->cacheStats();
+  const double restartHitRate = static_cast<double>(restart.hits) /
+                                static_cast<double>(kRequests);
+  std::printf("pass 3 (restart): restored %llu entries | %.2f s, "
+              "%.0f req/s | p50 %.3f ms | hit rate %.1f%%\n",
+              static_cast<unsigned long long>(restored), pass3Wall,
+              static_cast<double>(kRequests) / pass3Wall,
+              percentileMs(restartLat, 0.5), restartHitRate * 100.0);
+  if (restartHitRate < 0.90) {
+    std::fprintf(stderr,
+                 "restart hit-rate FAILED: %.1f%% of the post-restart replay "
+                 "came from the persisted cache (>= 90%% required)\n",
+                 restartHitRate * 100.0);
+    ok = false;
+  }
+  // Restored answers must still equal the fresh verifications of pass 1.
+  std::size_t restartMismatches = 0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    core::VerifyRequest req = pool[i];
+    req.id = 200000 + i;
+    std::string perr;
+    const auto resp = core::VerifyResponse::parse(
+        server->handleLine(compactJson(req.toJson())), &perr);
+    if (!resp.has_value() || !resp->error.empty() ||
+        resp->verdict != freshVerdicts[i] ||
+        resp->counters != freshCounters[i]) {
+      std::fprintf(stderr,
+                   "restart equivalence cell %zu (N=%u k=%u %s): restored "
+                   "answer differs from pass-1 fresh verification\n",
+                   i, req.robSize, req.issueWidth,
+                   core::strategyName(req.strategy));
+      ++restartMismatches;
+    }
+  }
+  if (restartMismatches > 0) {
+    std::fprintf(stderr,
+                 "restart equivalence FAILED: %zu of %zu restored answers "
+                 "differ\n",
+                 restartMismatches, pool.size());
+    ok = false;
+  } else {
+    std::printf("restart equivalence: all %zu journal-restored answers "
+                "identical to fresh verification\n",
+                pool.size());
   }
 
   json.note("requests", static_cast<double>(kRequests));
@@ -288,9 +382,15 @@ int main(int argc, char** argv) {
   json.note("pass2_p50_ms", percentileMs(warmLat, 0.5));
   json.note("pass2_p99_ms", percentileMs(warmLat, 0.99));
   json.note("pass2_hit_rate", hitRate);
+  json.note("pass3_wall_seconds", pass3Wall);
+  json.note("pass3_hit_rate", restartHitRate);
+  json.note("pass3_restored_entries", static_cast<double>(restored));
+  json.note("error_responses",
+            static_cast<double>(pass1Errors + pass2Errors + pass3Errors));
   json.note("cache_entries", static_cast<double>(after.entries));
   json.note("cache_evictions", static_cast<double>(after.evictions));
-  json.note("equivalence_mismatches", static_cast<double>(mismatches));
+  json.note("equivalence_mismatches",
+            static_cast<double>(mismatches + restartMismatches));
   json.write();
 
   return ok ? 0 : 1;

@@ -19,15 +19,15 @@ namespace velev::core {
 namespace {
 
 /// One scheduled cell: the configuration plus its fully expanded options.
-/// Both public runGrid() overloads lower to this, so the request-based and
-/// the deprecated VerifyOptions-based paths behave identically.
+/// The public request-based runGrid() lowers every request to one of
+/// these.
 struct GridJob {
   GridCell cell;
   VerifyOptions vopts;
 };
 
-/// The non-deprecated equivalent of the classic verify(cfg, bug, opts):
-/// fresh context + models, then verifyWith (which arms the governor).
+/// One cell end to end: fresh context + models, then verifyWith (which
+/// arms the governor) — the one-Context-per-cell rule.
 VerifyReport verifyCell(const models::OoOConfig& cfg,
                         const models::BugSpec& bug,
                         const VerifyOptions& opts) {
@@ -580,20 +580,6 @@ std::vector<GridCellResult> runGrid(std::span<const VerifyRequest> requests,
       keys.push_back(req.cacheKeyHex());
   }
   return runGridImpl(jobs, opts, cancel, keys);
-}
-
-std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
-                                    const GridOptions& opts,
-                                    CancelToken* cancel) {
-  std::vector<GridJob> jobs;
-  jobs.reserve(cells.size());
-  for (const GridCell& cell : cells) jobs.push_back(GridJob{cell, opts.verify});
-  GridRunOptions ropts;
-  ropts.jobs = opts.jobs;
-  ropts.fallback = opts.fallback;
-  ropts.traceDir = opts.traceDir;
-  ropts.incremental = opts.incremental;
-  return runGridImpl(jobs, ropts, cancel);
 }
 
 trace::ManifestData cellManifestData(const GridCellResult& res,

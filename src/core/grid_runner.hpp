@@ -104,9 +104,7 @@ struct GridRunOptions {
   /// atomically rewrites this checkpoint file (schema in docs/SCALING.md,
   /// versioned like manifest.json) with one record per completed cell,
   /// keyed by VerifyRequest::cacheKey(). A sweep killed mid-run loses at
-  /// most the cells in flight. Only available on the request-based
-  /// runGrid() overload — the deprecated GridCell overload has no stable
-  /// cell identity to key on and ignores it.
+  /// most the cells in flight.
   std::string checkpointPath;
   /// With `resume` and an existing checkpoint file: cells whose cache key
   /// has a record are not re-verified — their results are restored
@@ -122,31 +120,6 @@ struct GridRunOptions {
   unsigned cellJobs = 1;
 };
 
-/// DEPRECATED companion of the GridCell-based runGrid() overload: one
-/// VerifyOptions fanned out over every cell. New code puts the per-cell
-/// options inside each VerifyRequest and passes GridRunOptions.
-struct GridOptions {
-  unsigned jobs = 1;       // worker threads; 1 = run in the calling thread
-  VerifyOptions verify;    // applied to every cell (budget is per cell)
-  FallbackPolicy fallback = FallbackPolicy::None;
-  /// When non-empty: each cell attaches its own trace::Collector (the
-  /// one-Collector-per-cell analogue of the one-Context-per-cell rule) and
-  /// the runner writes `cell_<index>_<N>x<K>.trace.json` plus
-  /// `cell_<index>_<N>x<K>.manifest.json` into this directory, then one
-  /// merged `manifest.json` summing stage times and counters over the grid.
-  /// The directory is created if missing.
-  std::string traceDir;
-  /// Share one incremental SAT session (sat/incremental.hpp) across the
-  /// grid: VSIDS activities, saved phases and retained learnt clauses
-  /// carry from cell to cell, which pays exactly where cells are closely
-  /// related (same strategy, adjacent N/width). Forces sequential
-  /// execution — the session is single-threaded by design, mirroring the
-  /// one-Context-per-cell rule — so `jobs` is treated as 1. A fallback
-  /// retry (different strategy => different variable skeleton) always runs
-  /// on a fresh solver.
-  bool incremental = false;
-};
-
 /// Verify every request of `requests`; results come back in input order.
 /// Each request carries its own strategy/engine/budget, so heterogeneous
 /// grids (the velev_serve replay mix) run through the same scheduler as the
@@ -156,17 +129,6 @@ struct GridOptions {
 /// normally.
 std::vector<GridCellResult> runGrid(std::span<const VerifyRequest> requests,
                                     const GridRunOptions& opts,
-                                    CancelToken* cancel = nullptr);
-
-/// As above with one shared VerifyOptions.
-///
-/// DEPRECATED surface: put the options inside each core::VerifyRequest and
-/// call the request-based overload. This wrapper remains for one release
-/// and behaves identically (it expands to the same internal runner).
-[[deprecated("build core::VerifyRequests and call "
-             "runGrid(std::span<const VerifyRequest>, GridRunOptions)")]]
-std::vector<GridCellResult> runGrid(std::span<const GridCell> cells,
-                                    const GridOptions& opts,
                                     CancelToken* cancel = nullptr);
 
 /// Cross product of sizes × widths, dropping the impossible cells

@@ -21,25 +21,6 @@ VerifyOptions VerifyRequest::options() const {
   return opts;
 }
 
-VerifyRequest VerifyRequest::fromOptions(const models::OoOConfig& cfg,
-                                         const models::BugSpec& bug,
-                                         const VerifyOptions& opts) {
-  VerifyRequest req;
-  req.robSize = cfg.robSize;
-  req.issueWidth = cfg.issueWidth;
-  req.bug = bug;
-  req.strategy = opts.strategy;
-  req.engine = opts.engine;
-  req.ufScheme = opts.ufScheme;
-  req.skipSat = opts.skipSat;
-  req.coneOfInfluence = opts.sim.coneOfInfluence;
-  req.inprocess = opts.inprocess.enabled;
-  req.timeoutSeconds = opts.budget.wallSeconds;
-  req.memoryBudgetBytes = opts.budget.memoryBytes;
-  req.satConflictBudget = opts.budget.satConflicts;
-  return req;
-}
-
 std::optional<std::string> VerifyRequest::validate() const {
   if (robSize < 1) return "rob_size must be >= 1";
   if (issueWidth < 1 || issueWidth > robSize)
@@ -402,9 +383,10 @@ std::optional<VerifyResponse> VerifyResponse::parse(std::string_view text,
 }
 
 VerifyReport verify(const VerifyRequest& req,
-                    sat::IncrementalSession* session) {
+                    sat::IncrementalSession* session, sat::SolveMemo* memo) {
   VerifyOptions opts = req.options();
   opts.satSession = session;
+  opts.satMemo = memo;
   eufm::Context cx;
   const models::Isa isa = models::Isa::declare(cx);
   auto impl = models::buildOoO(cx, isa, req.config(), req.bug);

@@ -91,14 +91,6 @@ struct VerifyRequest {
   /// expansion is total: every VerifyRequest field lands in the options.
   VerifyOptions options() const;
 
-  /// Capture an options struct (+cell) back into a request — the bridge the
-  /// deprecated VerifyOptions overloads ride on. Lossy only for state a
-  /// request cannot carry (a shared sat::IncrementalSession, non-default
-  /// inprocessing knobs beyond the master switch).
-  static VerifyRequest fromOptions(const models::OoOConfig& cfg,
-                                   const models::BugSpec& bug,
-                                   const VerifyOptions& opts);
-
   /// Sanity-check field ranges (robSize >= 1, 1 <= issueWidth <= robSize,
   /// bug index within models::bugIndexLimit). Returns nullopt when valid,
   /// else a one-line diagnostic.
@@ -173,8 +165,12 @@ struct VerifyResponse {
 /// Verify the cell a request describes — the primary entry point of the
 /// library since the velev_serve API redesign. `session` optionally routes
 /// the SAT stage through a shared incremental session (the grid runner's
-/// --incremental mode); it is never part of the serialized request.
+/// --incremental mode); `memo` optionally consults a content-addressed
+/// solve memo first (the serve worker's batching lane — identical CNFs
+/// replay one finished solve, stats and all). Neither is ever part of the
+/// serialized request.
 VerifyReport verify(const VerifyRequest& req,
-                    sat::IncrementalSession* session = nullptr);
+                    sat::IncrementalSession* session = nullptr,
+                    sat::SolveMemo* memo = nullptr);
 
 }  // namespace velev::core

@@ -298,10 +298,34 @@ VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
           opts.satSession->setBudget(nullptr);
           rep.inprocessed = true;
         } else {
-          rep.outcome.satResult = sat::solveCnfInprocessed(
-              tr.cnf, opts.inprocess, nullptr, &rep.satStats,
-              opts.budget.satConflicts, nullptr, &gov, &rep.inprocessStats);
-          rep.inprocessed = opts.inprocess.enabled;
+          // Content-addressed solve memo (serve batching lane): an
+          // identical CNF under identical options replays the stored
+          // result and per-call stats — bit for bit what the fresh
+          // deterministic solve below would produce. Only conclusive
+          // results are ever stored, and never from a tripped governor.
+          sat::SolveMemo* memo = opts.satMemo;
+          const std::uint64_t mkey =
+              memo != nullptr ? sat::SolveMemo::key(tr.cnf, opts.inprocess,
+                                                    opts.budget.satConflicts)
+                              : 0;
+          const sat::SolveMemo::Entry* replay =
+              memo != nullptr ? memo->find(mkey) : nullptr;
+          if (replay != nullptr) {
+            rep.outcome.satResult = replay->result;
+            rep.satStats = replay->stats;
+            rep.inprocessStats = replay->inprocessStats;
+            rep.inprocessed = replay->inprocessed;
+            if (trace::Collector* c = trace::active())
+              c->addCounter("sat.memo.hits", 1);
+          } else {
+            rep.outcome.satResult = sat::solveCnfInprocessed(
+                tr.cnf, opts.inprocess, nullptr, &rep.satStats,
+                opts.budget.satConflicts, nullptr, &gov, &rep.inprocessStats);
+            rep.inprocessed = opts.inprocess.enabled;
+            if (memo != nullptr && !gov.exceeded())
+              memo->store(mkey, {rep.outcome.satResult, rep.satStats,
+                                 rep.inprocessStats, rep.inprocessed});
+          }
         }
       }
       rep.outcome.seconds.sat = timer.seconds();
@@ -389,15 +413,6 @@ VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
     rep.outcome.reason = e.what();
     return finish(budgetVerdict(e.kind()));
   }
-}
-
-VerifyReport verify(const models::OoOConfig& cfg, const models::BugSpec& bug,
-                    const VerifyOptions& opts) {
-  eufm::Context cx;
-  const models::Isa isa = models::Isa::declare(cx);
-  auto impl = models::buildOoO(cx, isa, cfg, bug);
-  auto spec = models::buildSpec(cx, isa);
-  return verifyWith(cx, isa, *impl, *spec, opts);
 }
 
 }  // namespace velev::core

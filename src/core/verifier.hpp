@@ -93,6 +93,14 @@ struct VerifyOptions {
   /// session's own InprocessOptions govern simplification; the run's
   /// governor is attached for the duration of the call. Not owned.
   sat::IncrementalSession* satSession = nullptr;
+  /// When set (and satSession is not), the SAT stage consults this
+  /// content-addressed memo of finished solves first: a bit-identical CNF
+  /// under identical options replays the stored result AND the stored
+  /// per-call stats — exactly what a fresh deterministic solve would have
+  /// produced. The serve batching lane hangs one memo per worker process,
+  /// so Table 5 size-independent cells (same width, different ROB size)
+  /// pay for one SAT solve per column. Single-threaded; not owned.
+  sat::SolveMemo* satMemo = nullptr;
   /// Worker threads available *inside* this one verification: with jobs > 1
   /// a private pool shards the rewrite slice checks (per-slice
   /// eufm::ShadowContext overlays) and the CNF build (sharded Tseitin, one
@@ -214,25 +222,15 @@ struct VerifyReport {
 std::vector<std::pair<std::string, std::uint64_t>> reportCounters(
     const VerifyReport& rep);
 
-/// Verify one processor configuration (optionally with an injected bug).
-///
-/// DEPRECATED surface: the serializable core::VerifyRequest
-/// (core/request.hpp) is now the single request representation shared by
-/// the CLI, the grid runner, the benches and the velev_serve daemon —
-/// build one and call verify(const VerifyRequest&) instead. This overload
-/// remains for one release as a thin equivalent wrapper.
-[[deprecated("build a core::VerifyRequest and call verify(request)")]]
-VerifyReport verify(const models::OoOConfig& cfg,
-                    const models::BugSpec& bug = {},
-                    const VerifyOptions& opts = {});
-
-/// As verify(), over a caller-provided context and prebuilt models (lets
-/// benchmarks and the fuzz oracles reuse the expensive model construction
-/// and inspect the expressions). This is the low-level expanded-options
-/// entry point — VerifyOptions can carry state a serializable request
-/// cannot (a shared sat::IncrementalSession, non-default inprocessing
-/// knobs), so it is not deprecated; request-driven callers go through
-/// verify(const VerifyRequest&) in core/request.hpp.
+/// Verify one configuration over a caller-provided context and prebuilt
+/// models (lets benchmarks and the fuzz oracles reuse the expensive model
+/// construction and inspect the expressions). This is the low-level
+/// expanded-options entry point — VerifyOptions can carry state a
+/// serializable request cannot (a shared sat::IncrementalSession, a
+/// SolveMemo, non-default inprocessing knobs); request-driven callers go
+/// through verify(const VerifyRequest&) in core/request.hpp, the single
+/// request representation shared by the CLI, the grid runner, the benches
+/// and the velev_serve daemon.
 VerifyReport verifyWith(eufm::Context& cx, const models::Isa& isa,
                         models::OoOProcessor& impl,
                         models::SpecProcessor& spec,

@@ -30,6 +30,19 @@ ResultCache::Claim ResultCache::claim(std::uint64_t key,
   return Claim::Joined;
 }
 
+void ResultCache::seed(std::uint64_t key, const core::VerifyResponse& resp) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (entries_.count(key) != 0) return;
+  Entry e;
+  e.ready = true;
+  e.response = resp;
+  e.response.cached = true;  // every future hit is a cache copy
+  e.lastUse = ++clock_;
+  entries_.emplace(key, std::move(e));
+  ++stats_.entries;
+  evictIfFullLocked();
+}
+
 std::vector<ResultCache::Waiter> ResultCache::settle(
     std::uint64_t key, const core::VerifyResponse& resp, bool store) {
   std::vector<Waiter> waiters;

@@ -68,6 +68,13 @@ class ResultCache {
   /// the computation and must fulfill() or abandon() exactly once.
   Claim claim(std::uint64_t key, core::VerifyResponse* out, Waiter waiter);
 
+  /// Install a ready entry restored from the persistent journal
+  /// (serve/journal.hpp). No-op when the key already exists (ready or
+  /// in-flight). Counts toward `entries` and is LRU-managed like any other
+  /// ready entry, but does not touch hit/miss statistics — seeding is
+  /// startup, not traffic.
+  void seed(std::uint64_t key, const core::VerifyResponse& resp);
+
   /// Owner's completion: store the response (when `cacheable`) and wake
   /// the coalesced waiters with it (cached=true on their copies — their
   /// answer exists because of a job they did not run).

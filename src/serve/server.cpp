@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <future>
@@ -89,11 +90,46 @@ std::string wire(const core::VerifyResponse& resp) {
 VerifyServer::VerifyServer(ServerOptions opts)
     : opts_(std::move(opts)),
       cache_(opts_.cacheMaxEntries),
-      pool_(std::make_unique<ThreadPool>(opts_.jobs == 0 ? 1 : opts_.jobs)) {}
+      pool_(std::make_unique<ThreadPool>(opts_.jobs == 0 ? 1 : opts_.jobs)) {
+  if (!opts_.cacheDir.empty()) {
+    CacheJournal::Options jo;
+    jo.dir = opts_.cacheDir;
+    journal_ = std::make_unique<CacheJournal>(std::move(jo));
+    CacheJournal::LoadStats ls;
+    const auto restored = journal_->load(&ls);
+    for (const auto& [key, resp] : restored) cache_.seed(key, resp);
+    collector_.addCounter("serve.journal.restored", restored.size());
+    collector_.addCounter("serve.journal.segments", ls.segments);
+    collector_.addCounter("serve.journal.skipped_segments",
+                          ls.skippedSegments);
+    collector_.addCounter("serve.journal.skipped_entries", ls.skippedEntries);
+  }
+  if (opts_.workers > 0) {
+    WorkerPoolOptions po;
+    po.executable = opts_.workerExecutable;
+    po.workers = opts_.workers;
+    po.batch = opts_.batch;
+    po.maxBatch = opts_.maxBatch;
+    po.crashAfter = opts_.workerCrashAfter;
+    po.collector = &collector_;
+    auto pool = std::make_unique<WorkerPool>(std::move(po));
+    std::string err;
+    if (pool->start(&err))
+      workerPool_ = std::move(pool);
+    else
+      poolError_ = err;
+  }
+}
 
 VerifyServer::~VerifyServer() { stop(); }
 
 bool VerifyServer::start(std::string* error) {
+  if (!poolError_.empty()) {
+    // Fail fast: a daemon that was asked for worker processes but could
+    // not spawn any is misconfigured, not degraded.
+    if (error != nullptr) *error = poolError_;
+    return false;
+  }
   if (opts_.unixSocketPath.empty() && opts_.tcpPort < 0) {
     if (error != nullptr)
       *error = "no listener configured (need a unix socket path or a TCP "
@@ -146,10 +182,11 @@ void VerifyServer::stop() {
   for (auto& conn : conns_)
     if (conn->reader.joinable()) conn->reader.join();
 
-  // 3. Drain the pool: every scheduled job finishes and its response is
+  // 3. Drain the pools: every scheduled job finishes and its response is
   //    written to the (still-open) connections. New submits are refused
   //    from here on — nothing may queue behind a draining pool.
   stopJobs_.store(true);
+  if (workerPool_ != nullptr) workerPool_->stop();
   pool_.reset();
 
   // 4. Now the connections are quiescent; close them.
@@ -215,12 +252,61 @@ void VerifyServer::submit(core::VerifyRequest req, ResultCache::Waiter done) {
       break;
   }
 
+  // This miss is about to become a job: consult the live load. Hits and
+  // coalesced joiners never get here — they are always free.
+  if (!admitJob(req)) {
+    collector_.addCounter("serve.admission.rejected", 1);
+    const core::VerifyResponse resp = core::VerifyResponse::makeError(
+        id, "admission control: server overloaded, retry later");
+    cache_.abandon(key, resp);
+    done(resp);
+    return;
+  }
+  collector_.addCounter("serve.jobs", 1);
+
+  if (workerPool_ != nullptr) {
+    workerPool_->submit(req,
+                        [this, req, key, done](const core::VerifyResponse& r) {
+                          completeJob(req, key, r, done);
+                        });
+    return;
+  }
+  if (!poolError_.empty()) {
+    // workers were requested but the pool never started (and the caller
+    // drove handleLine() without start(), which would have failed fast).
+    completeJob(req, key, core::VerifyResponse::makeError(id, poolError_),
+                done);
+    return;
+  }
   pool_->submit([this, req, key, done] { runJob(req, key, done); });
+}
+
+bool VerifyServer::admitJob(const core::VerifyRequest& req) {
+  const double eff = req.timeoutSeconds > 0 ? req.timeoutSeconds : 0;
+  std::lock_guard<std::mutex> lk(admissionMutex_);
+  // A backlog of zero always admits, so no single request can be
+  // permanently unservable however large its budget.
+  if (pendingJobs_ > 0) {
+    if (opts_.maxQueueDepth > 0 && pendingJobs_ >= opts_.maxQueueDepth)
+      return false;
+    if (opts_.maxPendingSeconds > 0 &&
+        pendingSeconds_ + eff > opts_.maxPendingSeconds)
+      return false;
+  }
+  ++pendingJobs_;
+  pendingSeconds_ += eff;
+  return true;
+}
+
+void VerifyServer::releaseJob(const core::VerifyRequest& req) {
+  const double eff = req.timeoutSeconds > 0 ? req.timeoutSeconds : 0;
+  std::lock_guard<std::mutex> lk(admissionMutex_);
+  if (pendingJobs_ > 0) --pendingJobs_;
+  pendingSeconds_ = std::max(0.0, pendingSeconds_ - eff);
 }
 
 void VerifyServer::runJob(const core::VerifyRequest& req, std::uint64_t key,
                           ResultCache::Waiter done) {
-  collector_.addCounter("serve.jobs", 1);
   try {
     core::VerifyReport rep;
     Timer t;
@@ -231,23 +317,37 @@ void VerifyServer::runJob(const core::VerifyRequest& req, std::uint64_t key,
       TRACE_SPAN("serve.job");
       rep = core::verify(req);
     }
-    core::VerifyResponse resp =
-        core::VerifyResponse::fromReport(req, rep, t.seconds());
-    // Never cache a wall-clock timeout: whether the deadline tripped is a
-    // property of machine load, not of the cell — replaying it from the
-    // cache would freeze a nondeterministic answer. Memout (logical arena
-    // bytes) and conflict-budget inconclusives are deterministic and
-    // cacheable.
-    const bool cacheable = resp.verdict != core::Verdict::Timeout;
-    cache_.fulfill(key, resp, cacheable);
-    done(resp);  // the owner's own answer is the fresh one (cached=false)
+    completeJob(req, key,
+                core::VerifyResponse::fromReport(req, rep, t.seconds()), done);
   } catch (const std::exception& e) {
+    completeJob(req, key, core::VerifyResponse::makeError(req.id, e.what()),
+                done);
+  }
+}
+
+void VerifyServer::completeJob(const core::VerifyRequest& req,
+                               std::uint64_t key,
+                               const core::VerifyResponse& resp,
+                               const ResultCache::Waiter& done) {
+  releaseJob(req);
+  if (!resp.error.empty()) {
+    // Worker crash past its retry budget, shutdown, or a thrown
+    // verification error: wake the joiners with the error, store nothing.
     collector_.addCounter("serve.jobs.failed", 1);
-    const core::VerifyResponse resp =
-        core::VerifyResponse::makeError(req.id, e.what());
     cache_.abandon(key, resp);
     done(resp);
+    return;
   }
+  // Never cache a wall-clock timeout: whether the deadline tripped is a
+  // property of machine load, not of the cell — replaying it from the
+  // cache would freeze a nondeterministic answer. Memout (logical arena
+  // bytes) and conflict-budget inconclusives are deterministic and
+  // cacheable.
+  const bool cacheable = resp.verdict != core::Verdict::Timeout;
+  cache_.fulfill(key, resp, cacheable);
+  // The journal applies the same policy (and re-checks it).
+  if (cacheable && journal_ != nullptr) journal_->append(key, resp);
+  done(resp);  // the owner's own answer is the fresh one (cached=false)
 }
 
 std::string VerifyServer::controlResponse(const std::string& op) {
@@ -275,6 +375,22 @@ std::string VerifyServer::controlResponse(const std::string& op) {
     w.kv("serve.cache.entries", cs.entries);
     w.kv("serve.cache.inflight", cs.inflight);
     w.kv("serve.cache.evictions", cs.evictions);
+    if (workerPool_ != nullptr) {
+      const WorkerPool::Stats ps = workerPool_->stats();
+      w.kv("serve.pool.workers_alive", ps.aliveWorkers);
+      w.kv("serve.pool.queued", ps.queued);
+      w.kv("serve.pool.inflight", ps.inflight);
+      w.kv("serve.pool.dispatched", ps.dispatched);
+      w.kv("serve.pool.crashes_total", ps.crashes);
+      w.kv("serve.pool.respawns_total", ps.respawns);
+      w.kv("serve.pool.retries_total", ps.retries);
+      w.kv("serve.pool.failed_total", ps.failed);
+      w.kv("serve.pool.batches_total", ps.batches);
+      w.kv("serve.pool.batched_requests_total", ps.batchedRequests);
+    }
+    if (journal_ != nullptr)
+      w.kv("serve.journal.segments_on_disk",
+           static_cast<std::uint64_t>(journal_->segmentCount()));
     w.endObject();
     w.endObject();
   } else if (op == "shutdown") {

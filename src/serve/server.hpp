@@ -12,17 +12,33 @@
 // pipelined requests may arrive out of order; match them by "id".
 //
 // EXECUTION MODEL: requests are validated and admission-clamped on the
-// connection's reader thread, then scheduled as jobs on a work-stealing
-// verification pool (support/thread_pool.hpp). Each job builds its own
-// eufm::Context and arms its own BudgetGovernor from the request's budget
-// (the grid runner's one-Context-per-cell rule) — a budget-exhausted job
-// degrades into a timeout/memout verdict in the response, exactly like the
-// CLI. Results route through the content-addressed ResultCache: identical
+// connection's reader thread, then scheduled as jobs. With workers == 0
+// the jobs run in-process on a work-stealing verification pool
+// (support/thread_pool.hpp); with workers > 0 they are shipped to a
+// supervised pool of worker PROCESSES (serve/supervisor.hpp) so a
+// verification that aborts or is SIGKILLed costs one worker, never the
+// daemon — the supervisor retries in-flight requests on a sibling and
+// respawns the slot. Either way each job builds its own eufm::Context and
+// arms its own BudgetGovernor from the request's budget (the grid
+// runner's one-Context-per-cell rule) — a budget-exhausted job degrades
+// into a timeout/memout verdict in the response, exactly like the CLI.
+// Results route through the content-addressed ResultCache: identical
 // in-flight requests coalesce onto one running job (waiter callbacks, not
 // blocking futures — pool workers never wait on sibling jobs), and
 // finished results are served as cache hits. Wall-clock Timeout verdicts
 // are never cached: whether a deadline trips depends on machine load, so
 // freezing one would replay a nondeterministic answer forever.
+//
+// PERSISTENCE: with cacheDir set, every cacheable result is also appended
+// to a serve/journal.hpp segment journal and replayed into the cache at
+// construction — a restarted daemon keeps its warm set (same binary only;
+// the journal is version-checked).
+//
+// ADMISSION: beyond the static budget clamps, maxQueueDepth /
+// maxPendingSeconds reject NEW work (cache misses about to become jobs)
+// when the live backlog is too deep — hits and coalesced joiners are free
+// and always served. A rejected request gets an immediate error response;
+// nothing is silently dropped.
 //
 // OBSERVABILITY: the server owns one thread-safe trace::Collector; every
 // job runs under it (TRACE_SPAN "serve.job") and the request/cache flow
@@ -40,6 +56,8 @@
 #include <vector>
 
 #include "serve/cache.hpp"
+#include "serve/journal.hpp"
+#include "serve/supervisor.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -61,6 +79,30 @@ struct ServerOptions {
   /// request asking for more (or for no limit) is clamped down. 0 = no cap.
   double maxTimeoutSeconds = 0;
   std::uint64_t maxMemoryBudgetBytes = 0;
+
+  /// Worker PROCESSES. 0 = verify in-process on the thread pool (the
+  /// pre-shard behaviour); > 0 = ship jobs to a supervised pool of
+  /// `workerExecutable --worker` processes (crash isolation + retry).
+  unsigned workers = 0;
+  /// Binary to spawn as a worker; normally the daemon's own executable
+  /// (/proc/self/exe). Required when workers > 0.
+  std::string workerExecutable;
+  /// Batching lane: group compatible queued requests (same cell modulo
+  /// ROB size) onto one worker dispatch. Only meaningful with workers > 0.
+  bool batch = false;
+  std::size_t maxBatch = 8;
+  /// TEST HOOK, forwarded to WorkerPoolOptions::crashAfter.
+  int workerCrashAfter = 0;
+
+  /// Persistent-cache directory (serve/journal.hpp); empty = memory-only.
+  std::string cacheDir;
+
+  /// Live-load admission (0 = unlimited): reject a new job when this many
+  /// are already queued or running...
+  std::size_t maxQueueDepth = 0;
+  /// ... or when the wall budgets of queued+running jobs already sum past
+  /// this (requests with no timeout count 0 seconds but still count depth).
+  double maxPendingSeconds = 0;
 };
 
 class VerifyServer {
@@ -119,10 +161,23 @@ class VerifyServer {
   /// once with the response (possibly on another thread).
   void submit(core::VerifyRequest req, ResultCache::Waiter done);
 
-  /// Run one verification job (pool thread): verify, fulfill the cache,
-  /// answer the owner.
+  /// Run one verification job (in-process pool thread): verify, then
+  /// completeJob().
   void runJob(const core::VerifyRequest& req, std::uint64_t key,
               ResultCache::Waiter done);
+
+  /// Owner-job epilogue, shared by the in-process and worker paths:
+  /// release admission, settle the cache (fulfill or abandon), persist to
+  /// the journal when cacheable, answer the owner. Fires exactly once per
+  /// admitted job.
+  void completeJob(const core::VerifyRequest& req, std::uint64_t key,
+                   const core::VerifyResponse& resp,
+                   const ResultCache::Waiter& done);
+
+  /// Live-load admission for a new Owner job; false = reject (the caller
+  /// answers with an error and abandons the cache claim).
+  bool admitJob(const core::VerifyRequest& req);
+  void releaseJob(const core::VerifyRequest& req);
 
   /// Dispatch one wire line: control op (returns the response inline) or
   /// verify request (answers through `done`; returns empty string).
@@ -137,7 +192,16 @@ class VerifyServer {
   ServerOptions opts_;
   ResultCache cache_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<CacheJournal> journal_;
+  std::unique_ptr<WorkerPool> workerPool_;
+  /// Non-empty when workers > 0 was requested but the pool could not be
+  /// started: start() fails with it, and submits answer it as an error.
+  std::string poolError_;
   trace::Collector collector_;
+
+  std::mutex admissionMutex_;
+  std::size_t pendingJobs_ = 0;     // admitted, not yet completed
+  double pendingSeconds_ = 0;       // their summed effective wall budgets
 
   int unixFd_ = -1;
   int tcpFd_ = -1;

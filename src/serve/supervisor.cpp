@@ -1,0 +1,424 @@
+#include "serve/supervisor.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "support/json.hpp"
+
+namespace velev::serve {
+
+namespace {
+
+/// Cap a doubling backoff without overflow: 2^min(n, 10) steps.
+double crashBackoff(double base, unsigned consecutiveCrashes) {
+  const unsigned steps = std::min(consecutiveCrashes, 10u) - 1u;
+  const double raw = base * static_cast<double>(1u << steps);
+  return std::min(2.0, raw);
+}
+
+core::VerifyResponse crashError(const core::VerifyRequest& req,
+                                unsigned attempts) {
+  return core::VerifyResponse::makeError(
+      req.id, "internal error: verification worker crashed (" +
+                  std::to_string(attempts) + " attempts)");
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(WorkerPoolOptions opts) : opts_(std::move(opts)) {
+  if (opts_.workers == 0) opts_.workers = 1;
+  if (opts_.maxBatch < 2) opts_.maxBatch = 2;
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+void WorkerPool::counter(const char* name, std::uint64_t delta) const {
+  if (opts_.collector != nullptr) opts_.collector->addCounter(name, delta);
+}
+
+std::string WorkerPool::groupKey(const core::VerifyRequest& req) {
+  core::VerifyRequest canon = req;
+  canon.id = 0;
+  canon.robSize = 0;  // the free axis: Table 5 columns share one CNF
+  return canon.toJson(/*includeId=*/false);
+}
+
+bool WorkerPool::start(std::string* error) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  if (started_) return true;
+  if (opts_.executable.empty()) {
+    if (error != nullptr) *error = "worker pool: no executable configured";
+    return false;
+  }
+  workers_.clear();
+  for (unsigned i = 0; i < opts_.workers; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+
+  unsigned alive = 0;
+  std::string firstErr;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    std::string err;
+    if (spawnWorkerLocked(i, /*first=*/true, lk, &err))
+      ++alive;
+    else if (firstErr.empty())
+      firstErr = err;
+  }
+  if (alive == 0) {
+    if (error != nullptr)
+      *error = "worker pool: no worker could be spawned: " + firstErr;
+    workers_.clear();  // no spawn succeeded, so no reader threads exist
+    return false;
+  }
+  started_ = true;
+  draining_ = false;
+  stopping_ = false;
+  dispatcher_ = std::thread([this] { dispatcherLoop(); });
+  return true;
+}
+
+bool WorkerPool::spawnWorkerLocked(std::size_t slot, bool first,
+                                   std::unique_lock<std::mutex>& lk,
+                                   std::string* error) {
+  Worker& w = *workers_[slot];
+  w.spawning = true;
+  std::vector<std::string> args = {"--worker", kSubprocessFdArg};
+  // The crash hook arms exactly one worker exactly once; its replacement
+  // is a normal worker, so the crashed request's retry succeeds.
+  if (first && slot == 0 && opts_.crashAfter > 0) {
+    args.emplace_back("--crash-after");
+    args.emplace_back(std::to_string(opts_.crashAfter));
+  }
+
+  lk.unlock();
+  if (w.reader.joinable()) w.reader.join();  // reader of the previous life
+  std::string err;
+  Subprocess sp = spawnWithSocket(opts_.executable, std::move(args), &err);
+  bool ok = sp.ok();
+  if (ok) {
+    const int handshakeMs =
+        std::max(1, static_cast<int>(opts_.spawnHandshakeSeconds * 1000));
+    ok = writeLineFd(sp.fd, "{\"op\": \"ping\"}") &&
+         waitReadable(sp.fd, handshakeMs);
+    if (ok) {
+      // The worker writes nothing after the pong until it is sent work,
+      // so this throwaway reader cannot swallow response bytes.
+      FdLineReader handshake(sp.fd);
+      std::string pong;
+      ok = handshake.next(&pong);
+    }
+    if (!ok) {
+      err = "worker handshake timed out";
+      ::close(sp.fd);
+      reapProcess(sp.pid, /*block=*/true);
+    }
+  }
+  lk.lock();
+  w.spawning = false;
+  if (!ok) {
+    if (error != nullptr) *error = err;
+    ++w.consecutiveCrashes;
+    if (w.consecutiveCrashes > opts_.maxRespawns) {
+      w.abandoned = true;
+      counter("serve.worker.abandoned", 1);
+    } else {
+      w.respawnAt =
+          now() + crashBackoff(opts_.respawnBackoffSeconds,
+                               w.consecutiveCrashes);
+    }
+    return false;
+  }
+  w.pid = sp.pid;
+  w.fd = sp.fd;
+  w.alive = true;
+  w.busy = false;
+  w.respawnAt = 0;
+  w.reader = std::thread([this, slot] { readerLoop(slot); });
+  if (!first) {
+    ++stats_.respawns;
+    counter("serve.worker.respawns", 1);
+  }
+  return true;
+}
+
+void WorkerPool::submit(const core::VerifyRequest& req, Done done) {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (started_ && !draining_ && !stopping_) {
+      Ticket t;
+      t.req = req;
+      t.done = std::move(done);
+      queue_.push_back(std::move(t));
+      cv_.notify_all();
+      return;
+    }
+  }
+  if (done)
+    done(core::VerifyResponse::makeError(req.id, "server shutting down"));
+}
+
+void WorkerPool::readerLoop(std::size_t slot) {
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    fd = workers_[slot]->fd;
+  }
+  FdLineReader reader(fd);
+  std::string line;
+  while (reader.next(&line)) {
+    if (line.empty()) continue;
+    std::optional<core::VerifyResponse> resp =
+        core::VerifyResponse::parse(line);
+    if (!resp.has_value()) {
+      counter("serve.worker.badline", 1);
+      continue;
+    }
+    Ticket t;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      Worker& w = *workers_[slot];
+      const auto it = w.inflight.find(resp->id);
+      if (it != w.inflight.end()) {
+        t = std::move(it->second);
+        w.inflight.erase(it);
+        found = true;
+        w.busy = !w.inflight.empty();
+        w.consecutiveCrashes = 0;  // a finished answer ends the streak
+      }
+    }
+    cv_.notify_all();
+    drainCv_.notify_all();
+    if (!found) continue;
+    resp->id = t.req.id;  // un-stamp the supervisor wire id
+    if (t.done) t.done(*resp);
+  }
+  onWorkerDeath(slot);
+}
+
+void WorkerPool::onWorkerDeath(std::size_t slot) {
+  std::vector<Ticket> doomed;
+  pid_t pid = -1;
+  bool crashed = false;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    Worker& w = *workers_[slot];
+    if (!w.alive) return;
+    w.alive = false;
+    w.busy = false;
+    pid = w.pid;
+    w.pid = -1;
+    if (w.fd >= 0) {
+      ::close(w.fd);
+      w.fd = -1;
+    }
+    std::map<std::uint64_t, Ticket> inflight = std::move(w.inflight);
+    w.inflight.clear();
+    crashed = !stopping_;
+    if (crashed) {
+      ++stats_.crashes;
+      counter("serve.worker.crashes", 1);
+      ++w.consecutiveCrashes;
+      if (w.consecutiveCrashes > opts_.maxRespawns) {
+        w.abandoned = true;
+        counter("serve.worker.abandoned", 1);
+      } else {
+        w.respawnAt = now() + crashBackoff(opts_.respawnBackoffSeconds,
+                                           w.consecutiveCrashes);
+      }
+    }
+    // In-flight tickets: retry on a sibling (front of the queue — they
+    // were admitted first) or, past the retry budget, fail. A clean stop
+    // should never see in-flight work (stop() drains first), but if it
+    // does, failing beats hanging.
+    for (auto& [wid, t] : inflight) {
+      ++t.attempts;
+      if (crashed && t.attempts <= opts_.maxRetries) {
+        t.notBefore =
+            now() + opts_.retryBackoffSeconds * static_cast<double>(t.attempts);
+        ++stats_.retries;
+        counter("serve.pool.retries", 1);
+        queue_.push_front(std::move(t));
+      } else {
+        ++stats_.failed;
+        counter("serve.pool.failed", 1);
+        doomed.push_back(std::move(t));
+      }
+    }
+  }
+  if (pid > 0) reapProcess(pid, /*block=*/true);
+  cv_.notify_all();
+  drainCv_.notify_all();
+  for (Ticket& t : doomed)
+    if (t.done) t.done(crashError(t.req, t.attempts));
+}
+
+void WorkerPool::dispatcherLoop() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  while (!stopping_) {
+    const double t = now();
+    bool didWork = false;
+
+    // 1. Respawn slots whose backoff has elapsed.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      Worker& w = *workers_[i];
+      if (w.alive || w.abandoned || w.spawning || w.respawnAt > t) continue;
+      spawnWorkerLocked(i, /*first=*/false, lk, nullptr);
+      if (stopping_) return;  // stop() raced in while the lock was down
+      didWork = true;
+    }
+
+    // 2. Every slot abandoned: nobody will ever run the queue — fail it.
+    bool anyUsable = false;
+    for (const auto& w : workers_)
+      if (!w->abandoned) {
+        anyUsable = true;
+        break;
+      }
+    if (!anyUsable && !queue_.empty()) {
+      std::deque<Ticket> doomed = std::move(queue_);
+      queue_.clear();
+      stats_.failed += doomed.size();
+      counter("serve.pool.failed", doomed.size());
+      drainCv_.notify_all();
+      lk.unlock();
+      for (Ticket& tk : doomed)
+        if (tk.done)
+          tk.done(core::VerifyResponse::makeError(
+              tk.req.id, "internal error: all verification workers lost"));
+      lk.lock();
+      continue;
+    }
+
+    // 3. Assign work to idle live workers. Writes happen under the lock:
+    //    a capacity-1 worker has at most one batch outstanding, far below
+    //    the socketpair buffer, so these writes never block.
+    for (std::size_t i = 0; i < workers_.size() && !queue_.empty(); ++i) {
+      Worker& w = *workers_[i];
+      if (!w.alive || w.busy || w.spawning) continue;
+      std::size_t pick = queue_.size();
+      for (std::size_t q = 0; q < queue_.size(); ++q)
+        if (queue_[q].notBefore <= t) {
+          pick = q;
+          break;
+        }
+      if (pick == queue_.size()) break;  // nothing ready before its backoff
+
+      std::vector<Ticket> group;
+      group.push_back(std::move(queue_[pick]));
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+      // Batching lane: ONLY first-attempt tickets ride together — a
+      // request that already crashed a worker must not take innocent
+      // queue neighbours down with it on the next crash.
+      if (opts_.batch && group.front().attempts == 0) {
+        const std::string gk = groupKey(group.front().req);
+        for (std::size_t q = 0;
+             q < queue_.size() && group.size() < opts_.maxBatch;) {
+          if (queue_[q].attempts == 0 && groupKey(queue_[q].req) == gk) {
+            group.push_back(std::move(queue_[q]));
+            queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(q));
+          } else {
+            ++q;
+          }
+        }
+      }
+
+      std::string line;
+      if (group.size() == 1) {
+        core::VerifyRequest copy = group.front().req;
+        copy.id = nextWireId_;
+        line = compactJson(copy.toJson());
+      } else {
+        std::ostringstream os;
+        JsonWriter jw(os);
+        jw.beginObject();
+        jw.kv("op", "batch");
+        jw.key("requests");
+        jw.beginArray();
+        for (std::size_t g = 0; g < group.size(); ++g) {
+          core::VerifyRequest copy = group[g].req;
+          copy.id = nextWireId_ + g;
+          copy.writeJson(jw);
+        }
+        jw.endArray();
+        jw.endObject();
+        line = compactJson(os.str());
+        ++stats_.batches;
+        stats_.batchedRequests += group.size();
+        counter("serve.pool.batches", 1);
+        counter("serve.pool.batched_requests", group.size());
+      }
+      stats_.dispatched += group.size();
+      for (auto& tk : group) w.inflight.emplace(nextWireId_++, std::move(tk));
+      w.busy = true;
+      writeLineFd(w.fd, line);  // failure => EOF soon; the reader retries
+      didWork = true;
+    }
+
+    // 4. Drain signal for stop().
+    std::uint64_t inflight = 0;
+    for (const auto& w : workers_) inflight += w->inflight.size();
+    if (queue_.empty() && inflight == 0) drainCv_.notify_all();
+
+    if (didWork) continue;
+
+    // 5. Sleep until the next deadline (respawn or retry backoff), with a
+    //    0.5 s heartbeat as a safety net.
+    double next = t + 0.5;
+    for (const auto& w : workers_)
+      if (!w->alive && !w->abandoned && !w->spawning && w->respawnAt > t)
+        next = std::min(next, w->respawnAt);
+    for (const auto& tk : queue_)
+      if (tk.notBefore > t) next = std::min(next, tk.notBefore);
+    const double waitS = std::max(1e-3, next - now());
+    cv_.wait_for(lk, std::chrono::duration<double>(waitS));
+  }
+}
+
+void WorkerPool::stop() {
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    if (!started_) return;
+    draining_ = true;
+    cv_.notify_all();
+    drainCv_.wait(lk, [this] {
+      if (!queue_.empty()) return false;
+      for (const auto& w : workers_)
+        if (!w->inflight.empty()) return false;
+      return true;
+    });
+    stopping_ = true;
+    cv_.notify_all();
+  }
+  dispatcher_.join();
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    // close() alone does not wake a thread blocked in read(); shutdown()
+    // does — the same trick the server uses on client connections.
+    for (const auto& w : workers_)
+      if (w->fd >= 0) ::shutdown(w->fd, SHUT_RDWR);
+  }
+  for (const auto& w : workers_)
+    if (w->reader.joinable()) w->reader.join();
+  std::lock_guard<std::mutex> lk(mutex_);
+  started_ = false;
+}
+
+WorkerPool::Stats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  Stats s = stats_;
+  s.queued = queue_.size();
+  s.inflight = 0;
+  s.aliveWorkers = 0;
+  for (const auto& w : workers_) {
+    s.inflight += w->inflight.size();
+    if (w->alive) ++s.aliveWorkers;
+  }
+  return s;
+}
+
+}  // namespace velev::serve

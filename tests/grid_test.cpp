@@ -1,9 +1,7 @@
 // Tests for the parallel grid runner: parallel runs must be
 // observationally identical to sequential runs (same verdicts, same CNF
 // statistics, input order preserved), cancellation must stop queued cells,
-// makeGrid/makeGridRequests must drop impossible configurations, and the
-// deprecated GridOptions overload must keep behaving like the request-based
-// one for the release it survives.
+// and makeGrid/makeGridRequests must drop impossible configurations.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -357,35 +355,6 @@ TEST(Grid, EmptyGridIsFine) {
   opts.jobs = 4;
   EXPECT_TRUE(runGrid({}, opts).empty());
 }
-
-// The deprecated one-VerifyOptions-for-every-cell overload survives one
-// release; until it is removed it must behave exactly like the request
-// path. This is the only in-tree caller left.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Grid, DeprecatedGridOptionsOverloadMatchesRequestPath) {
-  const std::vector<unsigned> sizes = {2, 3};
-  const std::vector<unsigned> widths = {1, 2};
-
-  GridOptions old;
-  old.verify.strategy = Strategy::PositiveEqualityOnly;
-  const auto oldResults = runGrid(makeGrid(sizes, widths), old);
-
-  VerifyRequest base;
-  base.strategy = Strategy::PositiveEqualityOnly;
-  GridRunOptions now;
-  const auto newResults = runGrid(makeGridRequests(sizes, widths, base), now);
-
-  ASSERT_EQ(oldResults.size(), newResults.size());
-  for (std::size_t i = 0; i < oldResults.size(); ++i) {
-    EXPECT_EQ(oldResults[i].report.verdict(), newResults[i].report.verdict());
-    EXPECT_EQ(oldResults[i].report.evcStats.cnfVars,
-              newResults[i].report.evcStats.cnfVars);
-    EXPECT_EQ(oldResults[i].report.evcStats.cnfClauses,
-              newResults[i].report.evcStats.cnfClauses);
-  }
-}
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace velev::core
